@@ -1,0 +1,177 @@
+// Command agave runs the Agave reproduction: it executes the 19 Agave
+// workloads and the 6 SPEC CPU2006 baselines on the simulated Android stack
+// and regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	agave list                         # benchmark inventory
+//	agave run <benchmark> [flags]      # one benchmark, summary breakdowns
+//	agave fig1|fig2|fig3|fig4 [flags]  # regenerate a figure (table/csv/bars)
+//	agave table1 [flags]               # regenerate Table I
+//	agave scalars [flags]              # Section-III census metrics
+//	agave all [flags]                  # everything above in one pass
+//
+// Flags:
+//
+//	-duration 1000   measured milliseconds of simulated time
+//	-warmup 300      warmup milliseconds before measurement (Android runs)
+//	-seed 1          simulation seed
+//	-format table    output format for figures: table, csv, bars
+//	-bench a,b,c     restrict the benchmark set (default: full suite)
+//	-nojit           disable the trace JIT in the app under test
+//	-dirtyrect       SurfaceFlinger composes only posted surfaces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agave/internal/core"
+	"agave/internal/report"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	durationMS := fs.Uint64("duration", 1000, "measured simulated milliseconds")
+	warmupMS := fs.Uint64("warmup", 300, "warmup simulated milliseconds")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	format := fs.String("format", "table", "figure output: table, csv, bars")
+	benchList := fs.String("bench", "", "comma-separated benchmark subset")
+	noJIT := fs.Bool("nojit", false, "disable the trace JIT")
+	dirtyRect := fs.Bool("dirtyrect", false, "dirty-rect composition")
+
+	switch cmd {
+	case "list":
+		fmt.Println("Agave workloads:")
+		for _, n := range core.AgaveNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		fmt.Println("SPEC CPU2006 baselines:")
+		for _, n := range core.SPECNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	case "run", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
+		// parsed below
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	var names []string
+	args := os.Args[2:]
+	if cmd == "run" {
+		if len(args) == 0 {
+			fmt.Fprintln(os.Stderr, "agave run: benchmark name required")
+			os.Exit(2)
+		}
+		names = []string{args[0]}
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	}
+
+	cfg := core.Config{
+		Seed:                 *seed,
+		Duration:             sim.Ticks(*durationMS) * sim.Millisecond,
+		Warmup:               sim.Ticks(*warmupMS) * sim.Millisecond,
+		Quantum:              sim.Millisecond,
+		DisableJIT:           *noJIT,
+		DirtyRectComposition: *dirtyRect,
+	}
+
+	results, err := core.RunSuite(cfg, names...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "agave:", err)
+		os.Exit(1)
+	}
+
+	emit := func(fig report.Figure) {
+		switch *format {
+		case "csv":
+			report.WriteCSV(os.Stdout, fig)
+		case "bars":
+			report.WriteBars(os.Stdout, fig)
+		default:
+			report.WriteTable(os.Stdout, fig)
+		}
+		fmt.Println()
+	}
+
+	switch cmd {
+	case "run":
+		r := results[0]
+		fmt.Printf("%s: %d total refs, %d processes, %d threads, %d code regions, %d data regions\n",
+			r.Benchmark, r.Stats.Total(), r.Processes, r.Threads, r.CodeRegions, r.DataRegions)
+		fmt.Println("\nTop instruction regions:")
+		for _, row := range stats.NewBreakdown(r.Stats.ByRegion(stats.IFetch)).TopN(10) {
+			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+		}
+		fmt.Println("\nTop data regions:")
+		for _, row := range stats.NewBreakdown(r.Stats.ByRegion(stats.DataKinds...)).TopN(10) {
+			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+		}
+		fmt.Println("\nTop processes (all references):")
+		for _, row := range stats.NewBreakdown(r.Stats.ByProcess()).TopN(10) {
+			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+		}
+		fmt.Println("\nTop threads (all references):")
+		for _, row := range stats.NewBreakdown(r.Stats.ByThread()).TopN(10) {
+			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+		}
+	case "fig1":
+		emit(report.Fig1(results))
+	case "fig2":
+		emit(report.Fig2(results))
+	case "fig3":
+		emit(report.Fig3(results))
+	case "fig4":
+		emit(report.Fig4(results))
+	case "table1":
+		report.WriteTable1(os.Stdout, report.Table1(results), 6)
+	case "scalars":
+		report.WriteScalars(os.Stdout, report.Scalars(results))
+		code, data := report.SuiteRegionCounts(results)
+		fmt.Printf("\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
+	case "all":
+		emit(report.Fig1(results))
+		emit(report.Fig2(results))
+		emit(report.Fig3(results))
+		emit(report.Fig4(results))
+		report.WriteTable1(os.Stdout, report.Table1(results), 6)
+		fmt.Println()
+		report.WriteScalars(os.Stdout, report.Scalars(results))
+		code, data := report.SuiteRegionCounts(results)
+		fmt.Printf("\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: agave <command> [flags]
+
+commands:
+  list      benchmark inventory
+  run       run one benchmark and print its breakdowns
+  fig1      instruction references by VMA region   (paper Fig. 1)
+  fig2      data references by VMA region          (paper Fig. 2)
+  fig3      instruction references by process      (paper Fig. 3)
+  fig4      data references by process             (paper Fig. 4)
+  table1    thread ranking                         (paper Table I)
+  scalars   region/process/thread census           (paper Sec. III)
+  all       everything
+
+run 'agave <command> -h' for flags.`)
+}

@@ -1,0 +1,15 @@
+// Package agave is a full-system reproduction of "Agave: A Benchmark Suite
+// for Exploring the Complexities of the Android Software Stack" (Brown et
+// al., ISPASS 2016).
+//
+// The paper's measurement platform (Android 2.3.7 + Linux 2.6.35 inside a
+// modified gem5) is rebuilt here as a deterministic behavioural simulator:
+// every instruction fetch and data reference issued by the simulated stack
+// is attributed to a (process, thread, VMA region) triple, and the paper's
+// four figures and Table I are folds over the resulting counters.
+//
+// Entry points: the public API lives in internal/core (suite registry and
+// runner) and internal/report (figure/table generation); the cmd/agave CLI
+// and examples/ show typical use. See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
+package agave

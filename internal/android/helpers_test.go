@@ -1,0 +1,20 @@
+package android
+
+import (
+	"agave/internal/binder"
+	"agave/internal/kernel"
+	"agave/internal/loader"
+	"agave/internal/media"
+)
+
+// mediaOpen is a test shim over media.Open.
+func mediaOpen(ex *kernel.Exec, sys *System, kind string) (*media.Player, error) {
+	return media.Open(ex, sys.Binder, kind)
+}
+
+// loaderLoadForTest maps the graphics library set for a bare compositor.
+func loaderLoadForTest(p *kernel.Process) *loader.LinkMap {
+	return loader.Load(p.AS, p.Layout, []string{"libskia.so", "libsurfaceflinger.so"})
+}
+
+var _ = binder.NewParcel

@@ -1,0 +1,98 @@
+// Package apps defines the 19 Agave application workloads: 12 popular
+// open-source applications, several in multiple modes (foreground vs
+// background, different inputs), exactly as the paper's Figures 1–4 list
+// them on their x-axes. Each workload drives the stack through the same
+// services the real application uses: Dalvik bytecode for Java logic, Skia
+// and SurfaceFlinger for UI, mediaserver/Stagefright for playback, the
+// PackageManager flow for installs, and app-private native libraries for
+// the NDK components.
+package apps
+
+import (
+	"fmt"
+
+	"agave/internal/android"
+	"agave/internal/kernel"
+)
+
+// Workload is one Agave benchmark.
+type Workload struct {
+	// Name is the paper's identifier, e.g. "coolreader.epub.view".
+	Name string
+	// Category is one of the paper's eight application categories.
+	Category string
+	// ExtraLibs are app-private native libraries (mapped on top of the
+	// zygote set).
+	ExtraLibs []string
+	// Background marks the .bkg variants: no surface, no UI drawing.
+	Background bool
+	// AsyncWorkers and Helpers size the AsyncTask pool and the
+	// app_process companion count.
+	AsyncWorkers int
+	Helpers      int
+	// Main is the application main-thread body; it runs after the
+	// activity lifecycle handshake and never returns.
+	Main func(ex *kernel.Exec, a *android.App)
+}
+
+// All returns the 19 workloads in the paper's x-axis order.
+func All() []*Workload {
+	return []*Workload{
+		aardMain(),
+		coolreaderEpubView(),
+		countdownMain(),
+		doomMain(),
+		frozenbubbleMain(),
+		galleryMP4View(),
+		jetboyMain(),
+		musicMP3View(false),
+		musicMP3View(true),
+		odrView("ppt"),
+		odrView("txt"),
+		odrView("xls"),
+		osmandView(false),
+		osmandView(true),
+		pmAPKView(false),
+		pmAPKView(true),
+		vlcMP3View(false),
+		vlcMP3View(true),
+		vlcMP4View(),
+	}
+}
+
+// Names lists the workload identifiers in order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, w := range all {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown workload %q", name)
+}
+
+// Launch builds the benchmark application process (named "benchmark", as in
+// the paper's process legends) and starts the workload.
+func Launch(sys *android.System, w *Workload) *android.App {
+	cfg := android.AppConfig{
+		Process:      "benchmark",
+		Label:        w.Name,
+		ExtraLibs:    w.ExtraLibs,
+		Fullscreen:   !w.Background,
+		Foreground:   !w.Background,
+		AsyncWorkers: w.AsyncWorkers,
+		Helpers:      w.Helpers,
+	}
+	a := sys.NewApp(cfg)
+	a.Start(w.Main)
+	return a
+}

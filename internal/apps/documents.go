@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"fmt"
+
+	"agave/internal/android"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+)
+
+// odrView — OpenDocument Reader displaying a presentation (ppt), plain text
+// (txt) or spreadsheet (xls). All three share the open-unzip-parse-layout
+// pipeline but differ in rendering mix: ppt is image/blit heavy, txt is
+// glyph heavy, xls re-renders a cell grid and evaluates formulas in Java.
+func odrView(kind string) *Workload {
+	cfg := map[string]struct {
+		docMB     uint64
+		parseCost uint64
+	}{
+		"ppt": {docMB: 6, parseCost: 60_000},
+		"txt": {docMB: 1, parseCost: 25_000},
+		"xls": {docMB: 3, parseCost: 80_000},
+	}[kind]
+	return &Workload{
+		Name:         "odr." + kind + ".view",
+		Category:     "productivity",
+		AsyncWorkers: 2,
+		Helpers:      1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			doc := a.AnonBuffer("document", cfg.docMB<<20)
+			libz := a.LinkMap.VMA("libz.so")
+			expat := a.LinkMap.VMA("libexpat.so")
+
+			// Open: read the file, inflate the ODF container, parse XML.
+			readAsset(ex, a, doc, cfg.docMB<<19)
+			ex.InCode(libz, func() {
+				ex.Do(kernel.Work{Fetch: 8, Reads: 1, Writes: 1, Data: doc}, cfg.docMB<<15)
+			})
+			ex.InCode(expat, func() {
+				ex.Do(kernel.Work{Fetch: 11, Reads: 1, Data: doc}, cfg.parseCost)
+			})
+			a.VM.InterpBulk(ex, a.Dex, cfg.parseCost, true)
+
+			// View loop: scroll/flip every few hundred ms.
+			a.FrameLoop(ex, 8, func(ex *kernel.Exec, n uint64) {
+				uiPump(ex, a, 10_000)
+				switch kind {
+				case "ppt":
+					// Slide: large decoded images blitted to screen.
+					if n%12 == 0 {
+						a.Canvas.DecodeImage(ex, doc, 800, 442)
+					}
+					a.Canvas.Blit(ex, 800, 442)
+					a.Canvas.Text(ex, 60)
+				case "txt":
+					a.Canvas.FillRect(ex, 800, 442)
+					a.Canvas.Text(ex, 1100)
+				case "xls":
+					// Grid lines + cell text + formula recalc.
+					a.Canvas.FillRect(ex, 800, 442)
+					for i := 0; i < 24; i++ {
+						a.Canvas.FillRect(ex, 800, 2)
+					}
+					a.Canvas.Text(ex, 500)
+					a.VM.Exec(ex, a.Dex, "callHeavy", 120)
+					a.VM.InterpBulk(ex, a.Dex, 35_000, false)
+				}
+				if n%4 == 0 {
+					a.Tasks.Submit(ex, func(ex *kernel.Exec) {
+						// Prefetch + parse the next page/sheet chunk.
+						ex.Do(kernel.Work{Fetch: 6, Reads: 1, Data: doc}, 90_000)
+						a.VM.InterpBulk(ex, a.Dex, 90_000, false)
+					})
+				}
+				if n%3 == 0 {
+					touchLibraries(ex, a, 500)
+				}
+			})
+		},
+	}
+}
+
+// osmandView — OsmAnd map viewing (map) or turn-by-turn navigation (nav).
+// Map mode rasterizes vector tiles as the viewport pans; nav mode adds
+// periodic route recomputation on worker threads.
+func osmandView(nav bool) *Workload {
+	mode := "map"
+	if nav {
+		mode = "nav"
+	}
+	return &Workload{
+		Name:         fmt.Sprintf("osmand.%s.view", mode),
+		Category:     "navigation",
+		AsyncWorkers: 3,
+		Helpers:      2,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			tiles := a.AnonBuffer("tiles", 16<<20)
+			routing := a.AnonBuffer("routing", 8<<20)
+			readAsset(ex, a, tiles, 4<<20)
+			if nav {
+				readAsset(ex, a, routing, 2<<20)
+			}
+			a.FrameLoop(ex, 15, func(ex *kernel.Exec, n uint64) {
+				uiPump(ex, a, 16_000)
+				// Viewport pan: rasterize the newly exposed tiles.
+				if n%8 == 0 {
+					a.Tasks.Submit(ex, func(ex *kernel.Exec) {
+						// Tile load + vector decode.
+						ex.BlockRead(tiles, 128<<10)
+						ex.Do(kernel.Work{Fetch: 9, Reads: 2, Data: tiles}, 50_000)
+						a.VM.InterpBulk(ex, a.Dex, 70_000, true)
+					})
+				}
+				// Map raster: polyline/polygon drawing into the frame.
+				a.Canvas.FillRect(ex, 800, 442)
+				a.Canvas.Blit(ex, 800, 300) // tile cache blit
+				a.Canvas.Text(ex, 120)      // labels
+				a.VM.Exec(ex, a.Dex, "sumLoop", 400)
+				if nav && n%30 == 0 {
+					a.Tasks.Submit(ex, func(ex *kernel.Exec) {
+						// A* over the routing graph.
+						ex.Do(kernel.Work{Fetch: 8, Reads: 3, Data: routing}, 140_000)
+						a.VM.InterpBulk(ex, a.Dex, 120_000, true)
+					})
+				}
+				if nav && n%15 == 0 {
+					a.Canvas.FillRect(ex, 800, 90) // turn banner
+					a.Canvas.Text(ex, 40)
+				}
+				if n%3 == 0 {
+					touchLibraries(ex, a, 700)
+				}
+			})
+		},
+	}
+}
+
+// pmAPKView — the package manager installing an APK, the paper's only
+// workload that exercises dexopt and id.defcontainer. Foreground mode shows
+// the installer UI; .bkg installs silently.
+func pmAPKView(background bool) *Workload {
+	name := "pm.apk.view"
+	if background {
+		name += ".bkg"
+	}
+	return &Workload{
+		Name:         name,
+		Category:     "system",
+		Background:   background,
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			for n := uint64(0); ; n++ {
+				done := a.Sys.InstallAPK(ex, a, fmt.Sprintf("com.example.app%d", n), 3<<20)
+				if !background {
+					// Progress UI while dexopt grinds.
+					for i := 0; i < 4; i++ {
+						uiPump(ex, a, 1500)
+						a.Canvas.FillRect(ex, 500, 60)
+						a.Canvas.Text(ex, 30)
+						a.Surface.Post(ex, a.Sys.Compositor)
+						touchLibraries(ex, a, 120)
+						ex.SleepFor(150 * sim.Millisecond)
+					}
+				}
+				done.Wait(ex)
+				a.VM.InterpBulk(ex, a.FrameworkDex, 6_000, false)
+				touchLibraries(ex, a, 200)
+				ex.SleepFor(500 * sim.Millisecond)
+			}
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"agave/internal/android"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+)
+
+// doom.main — prBoom/Doom for Android: an almost entirely native workload.
+// The engine (libdoom.so) runs the game loop, software-renders the frame
+// into the surface, and mixes sound effects through an AudioTrack.
+func doomMain() *Workload {
+	return &Workload{
+		Name:         "doom.main",
+		Category:     "game",
+		ExtraLibs:    []string{"libdoom.so", "libmedia.so"},
+		AsyncWorkers: 1,
+		Helpers:      1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			engine := a.LinkMap.VMA("libdoom.so")
+			wad := a.AnonBuffer("wad", 12<<20)
+			readAsset(ex, a, wad, 4<<20)
+			a.Sys.Media.StreamTrack(a.Proc) // sfx mixer feed
+			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
+				for {
+					ex.InCode(engine, func() {
+						ex.Do(kernel.Work{Fetch: 5, Reads: 2, Data: wad}, 30_000)
+						ex.StackWork(10_000)
+					})
+					ex.SleepFor(sim.Second / 35)
+				}
+			})
+			a.FrameLoop(ex, 35, func(ex *kernel.Exec, n uint64) {
+				// Game tick: BSP traversal + entity logic over WAD
+				// structures.
+				ex.InCode(engine, func() {
+					ex.Do(kernel.Work{Fetch: 6, Reads: 2, Data: wad}, 45_000)
+					ex.StackWork(12_000)
+				})
+				// Software renderer: column/span drawing into the
+				// surface (the engine's own rasterizer, not Skia).
+				ex.InCode(engine, func() {
+					ex.Do(kernel.Work{Fetch: 3, Reads: 1, Data: wad}, 120_000)
+					ex.Do(kernel.Work{Fetch: 1, Writes: 1, Data: a.Surface.Buf}, 160_000)
+				})
+				// Thin Java shell: input + lifecycle glue.
+				uiPump(ex, a, 1800)
+				if n%8 == 0 {
+					touchLibraries(ex, a, 350)
+				}
+			})
+		},
+	}
+}
+
+// frozenbubble.main — Frozen Bubble, a pure-Java game: sprite blits through
+// Skia, game logic in bytecode (a showcase for the interpreter + trace JIT),
+// sound effects via AudioTrack.
+func frozenbubbleMain() *Workload {
+	return &Workload{
+		Name:         "frozenbubble.main",
+		Category:     "game",
+		ExtraLibs:    []string{"libmedia.so"},
+		AsyncWorkers: 1,
+		Helpers:      1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			a.Sys.Media.StreamTrack(a.Proc)
+			// Physics runs on the game's SurfaceView thread, as in the
+			// real app (a generic "Thread-N", Table I's "Thread" group).
+			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
+				for {
+					a.VM.InterpBulk(ex, a.Dex, 70_000, true)
+					ex.StackWork(20_000)
+					ex.SleepFor(sim.Second / 30)
+				}
+			})
+			a.FrameLoop(ex, 30, func(ex *kernel.Exec, n uint64) {
+				// Game logic in Java: physics, collision, state.
+				a.VM.InterpBulk(ex, a.Dex, 150_000, true)
+				a.VM.Exec(ex, a.Dex, "objectChurn", int64(n%32)+16)
+				// Sprite rendering: background + bubbles.
+				a.Canvas.Blit(ex, 800, 442)
+				for i := 0; i < 12; i++ {
+					a.Canvas.Blit(ex, 32, 32)
+				}
+				uiPump(ex, a, 5000)
+				if n%6 == 0 {
+					touchLibraries(ex, a, 450)
+				}
+			})
+		},
+	}
+}
+
+// jetboy.main — the SDK's JetBoy sample: a Java game driven by the JET MIDI
+// engine. Game canvas at 30 fps plus a MIDI-synthesis audio stream (the
+// sonivox synthesizer runs in the app's audio path).
+func jetboyMain() *Workload {
+	return &Workload{
+		Name:         "jetboy.main",
+		Category:     "game",
+		ExtraLibs:    []string{"libmedia.so"},
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			sonivox := a.LinkMap.VMA("libsonivox.so")
+			a.Sys.Media.StreamTrack(a.Proc)
+			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
+				for {
+					a.VM.InterpBulk(ex, a.Dex, 50_000, false)
+					ex.StackWork(15_000)
+					ex.SleepFor(sim.Second / 30)
+				}
+			})
+			a.FrameLoop(ex, 30, func(ex *kernel.Exec, n uint64) {
+				a.VM.InterpBulk(ex, a.Dex, 110_000, true)
+				// JET MIDI synthesis: wavetable reads + DSP.
+				ex.InCode(sonivox, func() {
+					ex.Do(kernel.Work{Fetch: 8, Reads: 2, Data: sonivox}, 9_000)
+					ex.StackWork(4_000)
+				})
+				a.Canvas.Blit(ex, 800, 442) // scrolling starfield
+				for i := 0; i < 6; i++ {
+					a.Canvas.Blit(ex, 64, 64) // asteroids + ship
+				}
+				uiPump(ex, a, 4000)
+				if n%6 == 0 {
+					touchLibraries(ex, a, 300)
+				}
+			})
+		},
+	}
+}

@@ -1,0 +1,190 @@
+package apps
+
+import (
+	"agave/internal/android"
+	"agave/internal/kernel"
+	"agave/internal/media"
+	"agave/internal/sim"
+)
+
+// gallery.mp4.view — Gingerbread's stock Gallery playing an MP4. All decode
+// work happens in mediaserver via Stagefright; the app itself only runs the
+// playback controls. This is the workload where the paper measures
+// mediaserver at 81 % of instruction references and 77 % of data references.
+func galleryMP4View() *Workload {
+	return &Workload{
+		Name:         "gallery.mp4.view",
+		Category:     "media",
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			a.Surface.Overlay = true // video plane composes via overlay
+			p, err := media.Open(ex, a.Sys.Binder, "mp4")
+			if err != nil {
+				panic(err)
+			}
+			p.AttachSurface(a.Surface)
+			if err := p.Start(ex, a.Sys.Binder); err != nil {
+				panic(err)
+			}
+			// Playback controls fade out; the app wakes rarely to
+			// advance the progress bar.
+			for n := uint64(0); ; n++ {
+				uiPump(ex, a, 1000)
+				if n%3 == 0 {
+					a.Canvas.FillRect(ex, 800, 48) // progress overlay
+					a.Surface.Post(ex, a.Sys.Compositor)
+				}
+				touchLibraries(ex, a, 120)
+				ex.SleepFor(400 * sim.Millisecond)
+			}
+		},
+	}
+}
+
+// musicMP3View — the stock Music app playing an MP3 via mediaserver.
+// Foreground mode redraws the now-playing screen (seekbar, VU-ish art);
+// background mode is the paper's music.mp3.view.bkg: the service keeps
+// playing with no UI at all.
+func musicMP3View(background bool) *Workload {
+	name := "music.mp3.view"
+	if background {
+		name += ".bkg"
+	}
+	return &Workload{
+		Name:         name,
+		Category:     "media",
+		Background:   background,
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			p, err := media.Open(ex, a.Sys.Binder, "mp3")
+			if err != nil {
+				panic(err)
+			}
+			if err := p.Start(ex, a.Sys.Binder); err != nil {
+				panic(err)
+			}
+			for n := uint64(0); ; n++ {
+				if background {
+					// The service ticks its notification state only.
+					a.VM.InterpBulk(ex, a.FrameworkDex, 400, false)
+					touchLibraries(ex, a, 60)
+					ex.SleepFor(500 * sim.Millisecond)
+					continue
+				}
+				uiPump(ex, a, 6000)
+				a.VM.Exec(ex, a.Dex, "sumLoop", 200)
+				a.Canvas.FillRect(ex, 800, 80) // seekbar strip
+				a.Canvas.Blit(ex, 256, 256)    // album art pulse
+				a.Canvas.Text(ex, 40)
+				a.Surface.Post(ex, a.Sys.Compositor)
+				touchLibraries(ex, a, 250)
+				ex.SleepFor(500 * sim.Millisecond)
+			}
+		},
+	}
+}
+
+// vlcMP3View — VLC playing an MP3. Unlike the Music app, VLC decodes
+// in-process with its own native engine (libvlccore), so the benchmark
+// process itself carries the decode load and hosts the AudioTrackThread.
+func vlcMP3View(background bool) *Workload {
+	name := "vlc.mp3.view"
+	if background {
+		name += ".bkg"
+	}
+	return &Workload{
+		Name:         name,
+		Category:     "media",
+		Background:   background,
+		ExtraLibs:    []string{"libvlccore.so", "libvlcjni.so", "libmedia.so"},
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			vlc := a.LinkMap.VMA("libvlccore.so")
+			stream := a.AnonBuffer("bitstream", 1<<20)
+			a.Sys.Media.StreamTrack(a.Proc)
+			// Decoder worker: VLC runs its input/decode chain on its
+			// own threads.
+			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
+				frames := 0
+				for {
+					if frames%150 == 0 {
+						ex.BlockRead(stream, 64<<10)
+					}
+					frames++
+					ex.InCode(vlc, func() {
+						// MAD-style fixed-point MP3 decode.
+						ex.Do(kernel.Work{Fetch: 13, Reads: 1, Data: stream}, 480)
+						ex.StackWork(24_000)
+					})
+					ex.SleepFor(26 * sim.Millisecond)
+				}
+			})
+			for n := uint64(0); ; n++ {
+				if background {
+					a.VM.InterpBulk(ex, a.FrameworkDex, 300, false)
+					touchLibraries(ex, a, 60)
+					ex.SleepFor(500 * sim.Millisecond)
+					continue
+				}
+				uiPump(ex, a, 5000)
+				a.Canvas.FillRect(ex, 800, 100)
+				a.Canvas.Text(ex, 60)
+				a.Surface.Post(ex, a.Sys.Compositor)
+				touchLibraries(ex, a, 220)
+				ex.SleepFor(500 * sim.Millisecond)
+			}
+		},
+	}
+}
+
+// vlcMP4View — VLC playing video in-process: native demux + AVC decode +
+// YUV→RGB conversion, all inside the benchmark process, rendering into its
+// own surface. The contrast with gallery.mp4.view (mediaserver-side decode)
+// is one of the suite's deliberate mode comparisons.
+func vlcMP4View() *Workload {
+	return &Workload{
+		Name:         "vlc.mp4.view",
+		Category:     "media",
+		ExtraLibs:    []string{"libvlccore.so", "libvlcjni.so", "libmedia.so"},
+		AsyncWorkers: 1,
+		Helpers:      1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			a.Surface.Overlay = true // video plane composes via overlay
+			vlc := a.LinkMap.VMA("libvlccore.so")
+			stream := a.AnonBuffer("bitstream", 2<<20)
+			refs := a.AnonBuffer("reframes", 4<<20)
+			a.Sys.Media.StreamTrack(a.Proc)
+			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
+				frames := 0
+				for {
+					if frames%24 == 0 {
+						ex.BlockRead(stream, 256<<10)
+					}
+					frames++
+					px := uint64(800 * 442)
+					ex.InCode(vlc, func() {
+						// Entropy decode + MC + reconstruction.
+						ex.Do(kernel.Work{Fetch: 16, Reads: 1, Data: stream}, px/16)
+						ex.Do(kernel.Work{Fetch: 3, Reads: 1, Data: refs}, px)
+						ex.Do(kernel.Work{Fetch: 3, Writes: 1, Data: a.Surface.Buf}, px)
+						ex.Do(kernel.Work{Fetch: 1, Writes: 1, Data: refs}, px/2)
+					})
+					a.Surface.Post(ex, a.Sys.Compositor)
+					ex.SleepFor(sim.Second / 24)
+				}
+			})
+			for n := uint64(0); ; n++ {
+				uiPump(ex, a, 2500)
+				if n%2 == 0 {
+					a.Canvas.FillRect(ex, 800, 48)
+				}
+				touchLibraries(ex, a, 200)
+				ex.SleepFor(500 * sim.Millisecond)
+			}
+		},
+	}
+}

@@ -1,0 +1,117 @@
+package apps
+
+import (
+	"agave/internal/android"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+)
+
+// aard.main — the aarddict offline dictionary/reference app. The user types
+// a query; lookups run on AsyncTask workers over the compressed dictionary
+// volume; results render as a text page. A Java-heavy workload: most cycles
+// go through the interpreter and JIT.
+func aardMain() *Workload {
+	return &Workload{
+		Name:         "aard.main",
+		Category:     "reference",
+		AsyncWorkers: 3,
+		Helpers:      2,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			dict := a.AnonBuffer("dictionary", 8<<20)
+			readAsset(ex, a, dict, 2<<20)
+			a.FrameLoop(ex, 12, func(ex *kernel.Exec, n uint64) {
+				uiPump(ex, a, 12_000)
+				// A keystroke every couple of frames kicks off a lookup.
+				if n%2 == 0 {
+					a.Tasks.Submit(ex, func(ex *kernel.Exec) {
+						// Binary search + article decompress over
+						// the volume, then article parse in Java.
+						ex.Do(kernel.Work{Fetch: 9, Reads: 2, Data: dict}, 150_000)
+						a.VM.InterpBulk(ex, a.Dex, 150_000, true)
+					})
+				}
+				// Render the result page: text body + highlights.
+				a.Canvas.FillRect(ex, 800, 442)
+				a.Canvas.Text(ex, 420)
+				a.VM.Exec(ex, a.Dex, "callHeavy", 40)
+				if n%3 == 0 {
+					touchLibraries(ex, a, 600)
+				}
+			})
+		},
+	}
+}
+
+// coolreader.epub.view — Cool Reader displaying an EPUB. Page layout and
+// font rasterization happen in the native cr3engine
+// (libcr3engine-3-1-1.so, which the paper's Figure 1 legend calls out); the
+// Java shell handles paging and settings.
+func coolreaderEpubView() *Workload {
+	return &Workload{
+		Name:         "coolreader.epub.view",
+		Category:     "reading",
+		ExtraLibs:    []string{"libcr3engine-3-1-1.so"},
+		AsyncWorkers: 2,
+		Helpers:      1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			cr3 := a.LinkMap.VMA("libcr3engine-3-1-1.so")
+			book := a.AnonBuffer("epub", 4<<20)
+			readAsset(ex, a, book, 1<<20)
+			pageTicks := uint64(0)
+			a.FrameLoop(ex, 10, func(ex *kernel.Exec, n uint64) {
+				uiPump(ex, a, 8000)
+				pageTicks++
+				if pageTicks%15 == 0 {
+					// Page turn: cr3engine reflows the chapter.
+					ex.InCode(cr3, func() {
+						ex.Do(kernel.Work{Fetch: 9, Reads: 2, Data: book}, 90_000)
+						ex.Do(kernel.Work{Fetch: 3, Reads: 1, Data: cr3}, 20_000)
+					})
+					a.Tasks.Submit(ex, func(ex *kernel.Exec) {
+						// Preparse the next chapter (unzip + XML).
+						ex.Do(kernel.Work{Fetch: 6, Reads: 1, Data: book}, 40_000)
+						a.VM.InterpBulk(ex, a.Dex, 25_000, false)
+					})
+				}
+				// Render the visible page from the cr3engine: glyph
+				// rasterization runs in native code.
+				ex.InCode(cr3, func() {
+					ex.Do(kernel.Work{Fetch: 5, Reads: 1, Data: book}, 30_000)
+				})
+				a.Canvas.FillRect(ex, 800, 442)
+				a.Canvas.Text(ex, 900)
+				if n%3 == 0 {
+					touchLibraries(ex, a, 400)
+				}
+			})
+		},
+	}
+}
+
+// countdown.main — a minimal countdown timer: one digit redraw per second.
+// The least demanding Agave workload; most system references come from the
+// surrounding stack (SurfaceFlinger, systemui, services), which is exactly
+// why the paper includes it.
+func countdownMain() *Workload {
+	return &Workload{
+		Name:         "countdown.main",
+		Category:     "utility",
+		AsyncWorkers: 1,
+		Main: func(ex *kernel.Exec, a *android.App) {
+			a.EnsureSurface(ex)
+			a.Canvas.FillRect(ex, 800, 442)
+			a.Surface.Post(ex, a.Sys.Compositor)
+			for n := uint64(0); ; n++ {
+				uiPump(ex, a, 3000)
+				a.VM.Exec(ex, a.Dex, "sumLoop", 300)
+				a.Canvas.FillRect(ex, 360, 160) // digits panel
+				a.Canvas.Text(ex, 8)
+				a.Surface.Post(ex, a.Sys.Compositor)
+				touchLibraries(ex, a, 150)
+				ex.SleepFor(1 * sim.Second)
+			}
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package binder
+
+import (
+	"fmt"
+
+	"agave/internal/kernel"
+	"agave/internal/mem"
+)
+
+// Cost model for one transaction leg (ioctl entry, thread wakeup, buffer
+// management), in kernel instructions / kernel data refs.
+const (
+	ioctlFetch = 900
+	ioctlData  = 160
+)
+
+// binderMapSize is the per-process /dev/binder transaction buffer mapping.
+const binderMapSize = 1 << 20
+
+// Transaction is one in-flight call.
+type Transaction struct {
+	Code  int32
+	Data  *Parcel
+	Reply *Parcel
+
+	sender *kernel.Thread
+	done   bool
+	wq     *kernel.WaitQueue
+}
+
+// Handler runs on a service's binder thread to serve a transaction. It
+// should read txn.Data and populate txn.Reply.
+type Handler func(ex *kernel.Exec, txn *Transaction)
+
+// Service is a registered Binder endpoint.
+type Service struct {
+	Name    string
+	Proc    *kernel.Process
+	Handler Handler
+
+	queue *kernel.MsgQueue
+	// Calls counts served transactions, for tests.
+	Calls uint64
+}
+
+// Driver is the /dev/binder device: the context manager's service registry
+// plus per-process transaction buffer mappings.
+type Driver struct {
+	k        *kernel.Kernel
+	services map[string]*Service
+	maps     map[*kernel.Process]*mem.VMA
+}
+
+// NewDriver creates the device. A real system has exactly one; tests may
+// make more.
+func NewDriver(k *kernel.Kernel) *Driver {
+	return &Driver{
+		k:        k,
+		services: make(map[string]*Service),
+		maps:     make(map[*kernel.Process]*mem.VMA),
+	}
+}
+
+// bufferFor lazily maps the process's /dev/binder transaction buffer. The
+// region name contributes to the paper's "other" data-region census.
+func (d *Driver) bufferFor(p *kernel.Process) *mem.VMA {
+	if v, ok := d.maps[p]; ok {
+		return v
+	}
+	v := p.AS.MapAnywhere(mem.MmapBase, binderMapSize, "/dev/binder",
+		mem.PermRead, mem.ClassDevice)
+	d.maps[p] = v
+	return v
+}
+
+// Register installs a service hosted by proc with nThreads binder pool
+// threads and returns it. Thread names follow Android's "Binder Thread #N"
+// convention; they all account to the "Binder Thread" group.
+func (d *Driver) Register(proc *kernel.Process, name string, nThreads int, h Handler) *Service {
+	if _, dup := d.services[name]; dup {
+		panic(fmt.Sprintf("binder: duplicate service %q", name))
+	}
+	s := &Service{
+		Name:    name,
+		Proc:    proc,
+		Handler: h,
+		queue:   d.k.NewMsgQueue("binder." + name),
+	}
+	d.services[name] = s
+	d.bufferFor(proc)
+	for i := 0; i < nThreads; i++ {
+		tname := fmt.Sprintf("Binder Thread #%d", i+1)
+		d.k.SpawnThread(proc, tname, "Binder Thread", func(ex *kernel.Exec) {
+			d.serveLoop(ex, s)
+		})
+	}
+	return s
+}
+
+// Lookup finds a registered service.
+func (d *Driver) Lookup(name string) (*Service, bool) {
+	s, ok := d.services[name]
+	return s, ok
+}
+
+func (d *Driver) serveLoop(ex *kernel.Exec, s *Service) {
+	buf := d.bufferFor(s.Proc)
+	for {
+		txn := ex.Recv(s.queue).(*Transaction)
+		// Kernel copies the parcel into this process's binder buffer;
+		// the service thread then reads it out.
+		ex.Syscall(ioctlFetch/2, ioctlData/2)
+		ex.InCode(kernelText(s.Proc), func() {
+			ex.Do(kernel.Work{Fetch: 2, Writes: 1, Data: buf}, txn.Data.Words())
+		})
+		ex.Read(buf, txn.Data.Words())
+		s.Handler(ex, txn)
+		// Reply copy back through the kernel.
+		reply := txn.Reply
+		if reply == nil {
+			reply = NewParcel()
+			txn.Reply = reply
+		}
+		ex.Syscall(ioctlFetch/2, ioctlData/2)
+		txn.done = true
+		txn.wq.WakeAll()
+		s.Calls++
+	}
+}
+
+// Call performs a synchronous transaction from the calling thread to the
+// named service, blocking until the reply arrives. It returns the reply
+// parcel (never nil).
+func (d *Driver) Call(ex *kernel.Exec, service string, code int32, data *Parcel) (*Parcel, error) {
+	s, ok := d.services[service]
+	if !ok {
+		return nil, fmt.Errorf("binder: no service %q", service)
+	}
+	if data == nil {
+		data = NewParcel()
+	}
+	buf := d.bufferFor(ex.P)
+	// Client-side ioctl: marshal the parcel out of this process.
+	ex.Syscall(ioctlFetch, ioctlData)
+	ex.Read(buf, data.Words())
+	txn := &Transaction{
+		Code:   code,
+		Data:   data,
+		sender: ex.T,
+		wq:     d.k.NewWaitQueue("binder.reply"),
+	}
+	ex.Send(s.queue, txn)
+	for !txn.done {
+		ex.WaitFree(txn.wq)
+	}
+	// Reply lands in the client's binder buffer and is read out.
+	ex.Syscall(ioctlFetch/3, ioctlData/3)
+	ex.Write(buf, txn.Reply.Words())
+	ex.Read(buf, txn.Reply.Words())
+	txn.Reply.Rewind()
+	return txn.Reply, nil
+}
+
+// kernelText resolves the kernel region of p (every process maps one).
+func kernelText(p *kernel.Process) *mem.VMA {
+	v := p.AS.FindByName(mem.RegionKernel)
+	if v == nil {
+		panic("binder: process has no kernel region")
+	}
+	return v
+}

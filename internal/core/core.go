@@ -1,0 +1,170 @@
+// Package core is the public face of the reproduction: the unified Agave +
+// SPEC benchmark registry, run configuration, and the runner that boots the
+// simulated Android stack, executes a workload, and collects the attributed
+// reference statistics the paper's figures are built from.
+//
+// Typical use:
+//
+//	res, err := core.Run("gallery.mp4.view", core.DefaultConfig())
+//	fig3 := stats.NewBreakdown(res.Stats.ByProcess(stats.IFetch))
+package core
+
+import (
+	"fmt"
+
+	"agave/internal/android"
+	"agave/internal/apps"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+	"agave/internal/spec"
+	"agave/internal/stats"
+)
+
+// Config controls a benchmark run.
+type Config struct {
+	// Seed drives every stochastic decision; equal seeds give
+	// bit-identical results.
+	Seed uint64
+	// Duration is the measured simulated interval (after warmup).
+	Duration sim.Ticks
+	// Warmup runs the stack before measurement begins (Android runs
+	// only): boot transients are excluded, as the paper measures steady
+	// application execution.
+	Warmup sim.Ticks
+	// Quantum is the scheduler time slice.
+	Quantum sim.Ticks
+	// DisableJIT turns the trace JIT off in the benchmark app
+	// (ablation A1).
+	DisableJIT bool
+	// DirtyRectComposition switches SurfaceFlinger to composing only
+	// posted surfaces (ablation A3).
+	DirtyRectComposition bool
+}
+
+// DefaultConfig is the configuration used for the EXPERIMENTS.md numbers:
+// one simulated second of steady state after 300 ms of warmup.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		Duration: 1 * sim.Second,
+		Warmup:   300 * sim.Millisecond,
+		Quantum:  1 * sim.Millisecond,
+	}
+}
+
+// Result is the outcome of one benchmark run: the full attributed counter
+// matrix plus the scalar census metrics reported in the paper's Section III.
+type Result struct {
+	Benchmark string
+	IsSPEC    bool
+	Stats     *stats.Collector
+
+	// Processes and Threads are the whole-system census at the end of
+	// the run (the paper: 20–34 processes, 32–147 threads per Agave app).
+	Processes int
+	Threads   int
+	// CodeRegions and DataRegions count distinct regions that received
+	// instruction and data references (the paper: 42–55 and 32–104 per
+	// app).
+	CodeRegions int
+	DataRegions int
+
+	Duration sim.Ticks
+	Checksum uint64 // SPEC only: the kernel's fold-proof accumulator
+}
+
+// AgaveNames lists the 19 Agave workloads in paper order.
+func AgaveNames() []string { return apps.Names() }
+
+// SPECNames lists the six SPEC CPU2006 baselines in paper order.
+func SPECNames() []string { return spec.Names() }
+
+// SuiteNames lists every benchmark: 19 Agave then 6 SPEC.
+func SuiteNames() []string { return append(AgaveNames(), SPECNames()...) }
+
+// IsSPEC reports whether name is one of the SPEC baselines.
+func IsSPEC(name string) bool {
+	for _, n := range spec.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes one benchmark by name.
+func Run(name string, cfg Config) (*Result, error) {
+	if IsSPEC(name) {
+		return RunSPEC(name, cfg)
+	}
+	return RunAgave(name, cfg)
+}
+
+// RunAgave boots the full Android stack, launches the workload, lets the
+// system warm up, then measures cfg.Duration of steady-state execution.
+func RunAgave(name string, cfg Config) (*Result, error) {
+	w, err := apps.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(kernel.Config{Quantum: cfg.Quantum, Seed: cfg.Seed})
+	defer k.Shutdown()
+	sys := android.Boot(k)
+	sys.Compositor.DirtyRectOnly = cfg.DirtyRectComposition
+	app := apps.Launch(sys, w)
+	if cfg.DisableJIT {
+		app.VM.JITEnabled = false
+	}
+	// Warmup: boot, app launch, first frames.
+	k.Run(cfg.Warmup)
+	// Measure: reset counters, run the steady state.
+	k.Stats.Reset()
+	k.Run(cfg.Warmup + cfg.Duration)
+	return collect(name, false, k, cfg, 0), nil
+}
+
+// RunSPEC runs one SPEC baseline on the bare kernel (no Android stack), as
+// the paper's comparison points do. The input-read phase is part of the
+// profile — it is what makes ata_sff/0 visible in the SPEC bars.
+func RunSPEC(name string, cfg Config) (*Result, error) {
+	b, err := spec.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	k := kernel.New(kernel.Config{Quantum: cfg.Quantum, Seed: cfg.Seed})
+	defer k.Shutdown()
+	env := spec.Launch(k, b)
+	k.Run(cfg.Duration)
+	return collect(name, true, k, cfg, env.Checksum), nil
+}
+
+func collect(name string, isSpec bool, k *kernel.Kernel, cfg Config, checksum uint64) *Result {
+	return &Result{
+		Benchmark:   name,
+		IsSPEC:      isSpec,
+		Stats:       k.Stats,
+		Processes:   k.ProcessCount(),
+		Threads:     k.ThreadCount(),
+		CodeRegions: k.Stats.RegionCount(stats.IFetch),
+		DataRegions: k.Stats.RegionCount(stats.DataKinds...),
+		Duration:    cfg.Duration,
+		Checksum:    checksum,
+	}
+}
+
+// RunSuite runs the named benchmarks (all of them when names is empty) and
+// returns results in order. Each run uses a fresh simulated machine.
+func RunSuite(cfg Config, names ...string) ([]*Result, error) {
+	if len(names) == 0 {
+		names = SuiteNames()
+	}
+	out := make([]*Result, 0, len(names))
+	for _, n := range names {
+		r, err := Run(n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: running %s: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package dalvik
+
+import (
+	"fmt"
+
+	"agave/internal/dex"
+	"agave/internal/kernel"
+	"agave/internal/stats"
+)
+
+// acct batches interpreter accounting so the per-bytecode hot path is plain
+// integer arithmetic; counters flush to the collector in quantum-sized
+// slices. Totals are exact; only intra-slice interleaving is coalesced.
+type acct struct {
+	dvmFetch, jitFetch       uint64
+	dexRead                  uint64
+	stackRead, stackWrite    uint64
+	flushEvery, sinceFlushed uint64
+}
+
+const interpFlush = 2048 // bytecodes between accounting flushes
+
+// Exec interprets method in d until it returns, and returns its result.
+// Arguments arrive in the callee's v0..v(n-1).
+//
+// Attribution: dispatch/execute instructions fetch from libdvm.so (or
+// dalvik-jit-code-cache once the method is compiled), each bytecode word is
+// a data read from the dex mapping (elided when compiled), register-file
+// traffic hits the thread stack, and array/field/alloc traffic hits
+// dalvik-heap.
+func (vm *VM) Exec(ex *kernel.Exec, d *LoadedDex, method string, args ...int64) int64 {
+	mi := d.File.MethodIndex(method)
+	if mi < 0 {
+		panic(fmt.Sprintf("dalvik: no method %q in %s", method, d.File.Name))
+	}
+	a := &acct{}
+	ret := vm.execMethod(ex, d, mi, args, a, 0)
+	vm.flush(ex, a)
+	return ret
+}
+
+func (vm *VM) flush(ex *kernel.Exec, a *acct) {
+	if a.dvmFetch > 0 {
+		ex.InCode(vm.LibDVM, func() { ex.Fetch(a.dvmFetch) })
+	}
+	if a.jitFetch > 0 {
+		ex.InCode(vm.JITVMA, func() { ex.Fetch(a.jitFetch) })
+	}
+	// Note: a.dexRead is flushed at its call sites, which know the dex VMA.
+	st := ex.T.Stack
+	c := ex.K.Stats
+	if st != nil {
+		c.Add(ex.P.StatID, ex.T.StatID, st.Region, stats.DataRead, a.stackRead)
+		c.Add(ex.P.StatID, ex.T.StatID, st.Region, stats.DataWrite, a.stackWrite)
+	}
+	a.dvmFetch, a.jitFetch, a.stackRead, a.stackWrite = 0, 0, 0, 0
+	a.sinceFlushed = 0
+}
+
+func (vm *VM) execMethod(ex *kernel.Exec, d *LoadedDex, mi int, args []int64, a *acct, depth int) int64 {
+	if depth > 64 {
+		panic("dalvik: interpreter recursion too deep")
+	}
+	m := d.File.Methods[mi]
+	key := methodKey{dex: d.File.Name, method: m.Name}
+	vm.noteHot(ex, d, mi, key, 1)
+	isJit := vm.compiled[key]
+
+	var regs [dex.NumRegs]int64
+	copy(regs[:], args)
+	var lastResult int64
+
+	img := d.VMA.Bytes()
+	base := d.codeOff[mi]
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(m.Code) {
+			panic(fmt.Sprintf("dalvik: pc %d out of range in %s", pc, m.Name))
+		}
+		// Genuinely decode the instruction word from the mapped image.
+		o := base + uint64(pc)*4
+		ins := dex.DecodeInstr([4]byte{img[o], img[o+1], img[o+2], img[o+3]})
+
+		if isJit {
+			a.jitFetch += jitCost
+		} else {
+			a.dvmFetch += interpCost
+			a.dexRead++
+		}
+		a.stackRead += 2
+		a.stackWrite++
+		a.sinceFlushed++
+		if a.sinceFlushed >= interpFlush {
+			if a.dexRead > 0 {
+				ex.Read(d.VMA, a.dexRead)
+				a.dexRead = 0
+			}
+			vm.flush(ex, a)
+		}
+		vm.countTrace(ex, d, mi, key)
+
+		pc++
+		switch ins.Op {
+		case dex.OpNop:
+		case dex.OpConst:
+			regs[ins.A] = int64(ins.Imm())
+		case dex.OpMove:
+			regs[ins.A] = regs[ins.B]
+		case dex.OpAdd:
+			regs[ins.A] = regs[ins.B] + regs[ins.C]
+		case dex.OpSub:
+			regs[ins.A] = regs[ins.B] - regs[ins.C]
+		case dex.OpMul:
+			regs[ins.A] = regs[ins.B] * regs[ins.C]
+		case dex.OpDiv:
+			if regs[ins.C] == 0 {
+				regs[ins.A] = 0
+			} else {
+				regs[ins.A] = regs[ins.B] / regs[ins.C]
+			}
+		case dex.OpRem:
+			if regs[ins.C] == 0 {
+				regs[ins.A] = 0
+			} else {
+				regs[ins.A] = regs[ins.B] % regs[ins.C]
+			}
+		case dex.OpAnd:
+			regs[ins.A] = regs[ins.B] & regs[ins.C]
+		case dex.OpOr:
+			regs[ins.A] = regs[ins.B] | regs[ins.C]
+		case dex.OpXor:
+			regs[ins.A] = regs[ins.B] ^ regs[ins.C]
+		case dex.OpShl:
+			regs[ins.A] = regs[ins.B] << (uint64(regs[ins.C]) & 63)
+		case dex.OpShr:
+			regs[ins.A] = regs[ins.B] >> (uint64(regs[ins.C]) & 63)
+		case dex.OpAddI:
+			regs[ins.A] = regs[ins.B] + int64(int8(ins.C))
+		case dex.OpIfEq:
+			if regs[ins.A] == regs[ins.B] {
+				pc += int(ins.BranchOff())
+				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
+			}
+		case dex.OpIfNe:
+			if regs[ins.A] != regs[ins.B] {
+				pc += int(ins.BranchOff())
+				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
+			}
+		case dex.OpIfLt:
+			if regs[ins.A] < regs[ins.B] {
+				pc += int(ins.BranchOff())
+				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
+			}
+		case dex.OpIfGe:
+			if regs[ins.A] >= regs[ins.B] {
+				pc += int(ins.BranchOff())
+				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
+			}
+		case dex.OpGoto:
+			pc += int(ins.Imm())
+			vm.noteBackedge(ex, d, mi, key, ins.Imm())
+		case dex.OpNewArray:
+			regs[ins.A] = int64(vm.AllocArray(ex, regs[ins.B]))
+		case dex.OpArrayLen:
+			regs[ins.A] = vm.ArrayLen(ex, uint64(regs[ins.B]))
+		case dex.OpAGet:
+			regs[ins.A] = vm.ArrayGet(ex, uint64(regs[ins.B]), regs[ins.C])
+		case dex.OpAPut:
+			vm.ArrayPut(ex, uint64(regs[ins.B]), regs[ins.C], regs[ins.A])
+		case dex.OpNewObj:
+			regs[ins.A] = int64(vm.AllocObject(ex, int(ins.B)))
+		case dex.OpIGet:
+			regs[ins.A] = vm.FieldGet(ex, uint64(regs[ins.B]), int(ins.C))
+		case dex.OpIPut:
+			vm.FieldPut(ex, uint64(regs[ins.B]), int(ins.C), regs[ins.A])
+		case dex.OpInvoke:
+			var callArgs []int64
+			if ins.A > 0 {
+				callArgs = regs[ins.C : int(ins.C)+int(ins.A)]
+			}
+			a.stackWrite += uint64(ins.A) + 2 // frame push
+			lastResult = vm.execMethod(ex, d, int(ins.B), callArgs, a, depth+1)
+		case dex.OpMoveRes:
+			regs[ins.A] = lastResult
+		case dex.OpReturn:
+			if a.dexRead > 0 {
+				ex.Read(d.VMA, a.dexRead)
+				a.dexRead = 0
+			}
+			return regs[ins.A]
+		case dex.OpRetVoid:
+			if a.dexRead > 0 {
+				ex.Read(d.VMA, a.dexRead)
+				a.dexRead = 0
+			}
+			return 0
+		default:
+			panic(fmt.Sprintf("dalvik: bad opcode %v (verify the dex)", ins.Op))
+		}
+
+		// A method compiled mid-execution switches attribution at the
+		// next loop head, like a real trace JIT entering compiled code.
+		if !isJit && vm.compiled[key] {
+			isJit = true
+		}
+	}
+}
+
+// noteHot counts an invoke; crossing the threshold enqueues a compile.
+func (vm *VM) noteHot(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey, weight int) {
+	if !vm.JITEnabled || vm.compiled[key] {
+		return
+	}
+	vm.hot[key] += weight
+	if vm.hot[key] >= hotThreshold {
+		vm.hot[key] = 0
+		ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: key})
+	}
+}
+
+// noteBackedge treats taken backward branches as extra hotness, as Dalvik's
+// trace JIT did.
+func (vm *VM) noteBackedge(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey, rel int16) {
+	if rel < 0 {
+		vm.noteHot(ex, d, mi, key, 1)
+	}
+}
+
+// InterpBulk models sustained interpretation of framework/library bytecode
+// at statistically calibrated per-bytecode costs, without running a real
+// program. Workload models combine real Exec calls (semantics) with
+// InterpBulk (volume): the attribution profile is identical; see DESIGN.md.
+//
+// Per simulated bytecode: interpCost libdvm.so fetches (or jitCost fetches
+// from the JIT cache for the warmed fraction), one dex-image read, ~3 stack
+// references, and a configurable dalvik-heap mix.
+func (vm *VM) InterpBulk(ex *kernel.Exec, d *LoadedDex, bytecodes uint64, heavyAlloc bool) {
+	if bytecodes == 0 {
+		return
+	}
+	jitShare := uint64(0)
+	if vm.JITEnabled {
+		// Warmed fraction of execution running from the code cache.
+		jitShare = 45
+		if len(vm.compiled) == 0 {
+			jitShare = 10
+		}
+	}
+	jitBC := bytecodes * jitShare / 100
+	interpBC := bytecodes - jitBC
+
+	ex.InCode(vm.LibDVM, func() {
+		ex.Do(kernel.Work{Fetch: interpCost, Reads: 1, Data: d.VMA}, interpBC)
+		// Register file traffic on the thread stack.
+		ex.Do(kernel.Work{Fetch: 1, Reads: 2, Writes: 1, Data: ex.T.Stack}, bytecodes/2)
+		// Object traffic: field/array ops against the managed heap —
+		// roughly every other bytecode touches an object.
+		heapOps := bytecodes / 2
+		ex.Do(kernel.Work{Fetch: 1, Reads: 1, Data: vm.HeapVMA}, heapOps*2/3)
+		ex.Do(kernel.Work{Fetch: 1, Writes: 1, Data: vm.HeapVMA}, heapOps/3)
+	})
+	if jitBC > 0 {
+		ex.InCode(vm.JITVMA, func() {
+			ex.Do(kernel.Work{Fetch: jitCost, Reads: 1, Data: vm.HeapVMA}, jitBC)
+		})
+	}
+
+	// Allocation pressure feeds the GC, heavier for allocation-happy code.
+	allocBytes := bytecodes / 8
+	if heavyAlloc {
+		allocBytes = bytecodes * 3
+	}
+	vm.allocSinceGC += allocBytes
+	for vm.allocSinceGC >= gcThreshold {
+		vm.allocSinceGC -= gcThreshold
+		vm.heapTop = 16 + (vm.heapTop+allocBytes)%(vm.HeapVMA.Size()-16)
+		ex.Send(vm.gcQueue, gcReq{used: maxU64(vm.heapTop, gcThreshold)})
+	}
+
+	// Sustained interpretation keeps discovering hot traces (Gingerbread's
+	// trace JIT), keeping the Compiler thread busy for the whole run.
+	if vm.JITEnabled {
+		vm.sinceTrace += bytecodes
+		for vm.sinceTrace >= traceEvery {
+			vm.sinceTrace -= traceEvery
+			mi := int(vm.sinceTrace/977) % len(d.File.Methods)
+			key := methodKey{dex: d.File.Name, method: fmt.Sprintf("%s#trace%d", d.File.Methods[mi].Name, vm.compilesDone)}
+			ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: key})
+		}
+	}
+}
+
+// countTrace feeds the steady-state trace-discovery counter from real
+// interpretation, so heavy Exec use also keeps the Compiler thread warm.
+func (vm *VM) countTrace(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey) {
+	if !vm.JITEnabled {
+		return
+	}
+	vm.sinceTrace++
+	if vm.sinceTrace >= traceEvery {
+		vm.sinceTrace = 0
+		ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: methodKey{
+			dex: d.File.Name, method: fmt.Sprintf("%s#trace%d", key.method, vm.compilesDone),
+		}})
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package dex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text into a File. The syntax is line-oriented:
+//
+//	.method name nIn        ; begin method taking nIn args in v0..v(nIn-1)
+//	label:                  ; branch target
+//	const v0, 42
+//	add v2, v0, v1
+//	addi v1, v1, -1
+//	if_lt v1, v0, label
+//	goto label
+//	new_array v3, v1
+//	aget v4, v3, v1
+//	aput v4, v3, v1
+//	new_obj v5, 4           ; 4 fields
+//	iget v6, v5, 2
+//	iput v6, v5, 2
+//	invoke callee, v0, v1   ; static call; listed regs become callee v0..
+//	move_result v7
+//	return v7
+//	return_void
+//	.end
+//
+// Comments start with ';' or '#'. Branches name labels; the assembler
+// resolves them to relative instruction offsets.
+func Assemble(fileName, src string) (*File, error) {
+	f := NewFile(fileName)
+	var cur *Method
+	labels := map[string]int{}
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	type callFixup struct {
+		method *Method
+		instr  int
+		callee string
+		line   int
+	}
+	var callFixups []callFixup
+
+	finish := func() error {
+		for _, fx := range fixups {
+			target, ok := labels[fx.label]
+			if !ok {
+				return fmt.Errorf("line %d: undefined label %q", fx.line, fx.label)
+			}
+			rel := target - (fx.instr + 1)
+			ins := cur.Code[fx.instr]
+			if ins.Op == OpGoto {
+				if rel < -32768 || rel > 32767 {
+					return fmt.Errorf("line %d: branch to %q out of range", fx.line, fx.label)
+				}
+				cur.Code[fx.instr] = ins.WithImm(int16(rel))
+			} else {
+				// Conditional branches keep vA/vB and carry an
+				// 8-bit offset in C.
+				if rel < -128 || rel > 127 {
+					return fmt.Errorf("line %d: conditional branch to %q out of range", fx.line, fx.label)
+				}
+				cur.Code[fx.instr] = ins.WithBranchOff(int8(rel))
+			}
+		}
+		fixups = fixups[:0]
+		labels = map[string]int{}
+		return nil
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+
+		switch {
+		case strings.HasPrefix(line, ".method"):
+			if cur != nil {
+				return nil, fmt.Errorf("line %d: nested .method", ln)
+			}
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("line %d: want '.method name nIn'", ln)
+			}
+			in, err := strconv.Atoi(parts[2])
+			if err != nil || in < 0 || in > NumRegs {
+				return nil, fmt.Errorf("line %d: bad arg count %q", ln, parts[2])
+			}
+			cur = &Method{Name: parts[1], In: in}
+			continue
+		case line == ".end":
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: .end outside method", ln)
+			}
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			if err := f.Add(cur); err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln, err)
+			}
+			cur = nil
+			continue
+		case strings.HasSuffix(line, ":"):
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: label outside method", ln)
+			}
+			labels[strings.TrimSuffix(line, ":")] = len(cur.Code)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: instruction outside method", ln)
+		}
+
+		mn, rest, _ := strings.Cut(line, " ")
+		ops := splitOperands(rest)
+		ins, fix, cfix, err := parseInstr(mn, ops, ln)
+		if err != nil {
+			return nil, err
+		}
+		if fix != "" {
+			fixups = append(fixups, fixup{instr: len(cur.Code), label: fix, line: ln})
+		}
+		if cfix != "" {
+			callFixups = append(callFixups, callFixup{method: cur, instr: len(cur.Code), callee: cfix, line: ln})
+		}
+		cur.Code = append(cur.Code, ins)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("dex: missing .end for method %q", cur.Name)
+	}
+	for _, cf := range callFixups {
+		idx := f.MethodIndex(cf.callee)
+		if idx < 0 {
+			return nil, fmt.Errorf("line %d: call to undefined method %q", cf.line, cf.callee)
+		}
+		if idx > 255 {
+			return nil, fmt.Errorf("line %d: method index %d exceeds invoke encoding", cf.line, idx)
+		}
+		// Invoke encoding: A = arg count, B = callee method index,
+		// C = first argument register.
+		cf.method.Code[cf.instr].B = uint8(idx)
+	}
+	return f, nil
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInstr(mnemonic string, ops []string, ln int) (ins Instr, labelFix, callFix string, err error) {
+	fail := func(format string, args ...any) (Instr, string, string, error) {
+		return Instr{}, "", "", fmt.Errorf("line %d: "+format, append([]any{ln}, args...)...)
+	}
+	reg := func(s string) (uint8, bool) {
+		if !strings.HasPrefix(s, "v") {
+			return 0, false
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= NumRegs {
+			return 0, false
+		}
+		return uint8(n), true
+	}
+	imm := func(s string) (int64, bool) {
+		s = strings.TrimPrefix(s, "#")
+		n, err := strconv.ParseInt(s, 0, 64)
+		return n, err == nil
+	}
+
+	threeReg := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "div": OpDiv,
+		"rem": OpRem, "and": OpAnd, "or": OpOr, "xor": OpXor,
+		"shl": OpShl, "shr": OpShr, "aget": OpAGet, "aput": OpAPut,
+	}
+	branch := map[string]Op{
+		"if_eq": OpIfEq, "if_ne": OpIfNe, "if_lt": OpIfLt, "if_ge": OpIfGe,
+	}
+
+	switch {
+	case mnemonic == "nop":
+		return Instr{Op: OpNop}, "", "", nil
+	case mnemonic == "const":
+		if len(ops) != 2 {
+			return fail("const wants 2 operands")
+		}
+		a, ok := reg(ops[0])
+		if !ok {
+			return fail("bad register %q", ops[0])
+		}
+		v, ok := imm(ops[1])
+		if !ok || v < -32768 || v > 32767 {
+			return fail("bad 16-bit immediate %q", ops[1])
+		}
+		return Instr{Op: OpConst, A: a}.WithImm(int16(v)), "", "", nil
+	case mnemonic == "move" || mnemonic == "array_len":
+		op := OpMove
+		if mnemonic == "array_len" {
+			op = OpArrayLen
+		}
+		if len(ops) != 2 {
+			return fail("%s wants 2 operands", mnemonic)
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		if !ok1 || !ok2 {
+			return fail("bad registers in %q", mnemonic)
+		}
+		return Instr{Op: op, A: a, B: b}, "", "", nil
+	case threeReg[mnemonic] != 0:
+		if len(ops) != 3 {
+			return fail("%s wants 3 operands", mnemonic)
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		c, ok3 := reg(ops[2])
+		if !ok1 || !ok2 || !ok3 {
+			return fail("bad registers in %s", mnemonic)
+		}
+		return Instr{Op: threeReg[mnemonic], A: a, B: b, C: c}, "", "", nil
+	case mnemonic == "addi":
+		if len(ops) != 3 {
+			return fail("addi wants 3 operands")
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		v, ok3 := imm(ops[2])
+		if !ok1 || !ok2 || !ok3 || v < -128 || v > 127 {
+			return fail("bad addi operands")
+		}
+		return Instr{Op: OpAddI, A: a, B: b, C: uint8(int8(v))}, "", "", nil
+	case branch[mnemonic] != 0:
+		if len(ops) != 3 {
+			return fail("%s wants vA, vB, label", mnemonic)
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		if !ok1 || !ok2 {
+			return fail("bad registers in %s", mnemonic)
+		}
+		return Instr{Op: branch[mnemonic], A: a, B: b}, ops[2], "", nil
+	case mnemonic == "goto":
+		if len(ops) != 1 {
+			return fail("goto wants a label")
+		}
+		return Instr{Op: OpGoto}, ops[0], "", nil
+	case mnemonic == "new_array":
+		if len(ops) != 2 {
+			return fail("new_array wants vA, vLen")
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		if !ok1 || !ok2 {
+			return fail("bad new_array operands")
+		}
+		return Instr{Op: OpNewArray, A: a, B: b}, "", "", nil
+	case mnemonic == "new_obj":
+		if len(ops) != 2 {
+			return fail("new_obj wants vA, nFields")
+		}
+		a, ok1 := reg(ops[0])
+		v, ok2 := imm(ops[1])
+		if !ok1 || !ok2 || v < 0 || v > 255 {
+			return fail("bad new_obj operands")
+		}
+		return Instr{Op: OpNewObj, A: a, B: uint8(v)}, "", "", nil
+	case mnemonic == "iget" || mnemonic == "iput":
+		op := OpIGet
+		if mnemonic == "iput" {
+			op = OpIPut
+		}
+		if len(ops) != 3 {
+			return fail("%s wants vA, vObj, field#", mnemonic)
+		}
+		a, ok1 := reg(ops[0])
+		b, ok2 := reg(ops[1])
+		v, ok3 := imm(ops[2])
+		if !ok1 || !ok2 || !ok3 || v < 0 || v > 255 {
+			return fail("bad %s operands", mnemonic)
+		}
+		return Instr{Op: op, A: a, B: b, C: uint8(v)}, "", "", nil
+	case mnemonic == "invoke":
+		if len(ops) < 1 {
+			return fail("invoke wants a callee")
+		}
+		nArgs := len(ops) - 1
+		if nArgs > 0 {
+			first, ok := reg(ops[1])
+			if !ok {
+				return fail("bad invoke arg %q", ops[1])
+			}
+			for i, r := range ops[1:] {
+				got, ok := reg(r)
+				if !ok || got != first+uint8(i) {
+					return fail("invoke args must be consecutive registers")
+				}
+			}
+			return Instr{Op: OpInvoke, A: uint8(nArgs), C: first}, "", ops[0], nil
+		}
+		return Instr{Op: OpInvoke, A: 0}, "", ops[0], nil
+	case mnemonic == "move_result":
+		if len(ops) != 1 {
+			return fail("move_result wants vA")
+		}
+		a, ok := reg(ops[0])
+		if !ok {
+			return fail("bad register %q", ops[0])
+		}
+		return Instr{Op: OpMoveRes, A: a}, "", "", nil
+	case mnemonic == "return":
+		if len(ops) != 1 {
+			return fail("return wants vA")
+		}
+		a, ok := reg(ops[0])
+		if !ok {
+			return fail("bad register %q", ops[0])
+		}
+		return Instr{Op: OpReturn, A: a}, "", "", nil
+	case mnemonic == "return_void":
+		return Instr{Op: OpRetVoid}, "", "", nil
+	}
+	return fail("unknown mnemonic %q", mnemonic)
+}

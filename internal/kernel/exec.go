@@ -1,0 +1,243 @@
+package kernel
+
+import (
+	"fmt"
+
+	"agave/internal/cpu"
+	"agave/internal/mem"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+// chunk bounds how far a single bulk operation may overrun its quantum; bulk
+// helpers charge in slices of at most this many ticks.
+const chunk = 4096
+
+// Exec is a thread's handle on the machine: every instruction fetch and data
+// reference a workload model issues flows through it and is attributed to
+// (process, thread, region). It corresponds to the paper's modified
+// gem5+kernel instrumentation.
+//
+// The *code-region stack* tracks which image's text is executing: workload
+// models push "libskia.so" before raster work, the interpreter pushes
+// "libdvm.so", syscalls push the kernel region, and Fetch attributes
+// instruction reads to the top of the stack.
+type Exec struct {
+	K *Kernel
+	P *Process
+	T *Thread
+
+	ctx  *cpu.Context
+	code []*mem.VMA
+}
+
+// Now reports the simulated time. Time advances only between quanta, so
+// within one quantum Now is constant.
+func (ex *Exec) Now() sim.Ticks { return ex.K.Clock.Now() }
+
+// RNG returns the process-private random source.
+func (ex *Exec) RNG() *sim.RNG { return ex.P.RNG }
+
+func (ex *Exec) account(region stats.RegionID, kind stats.Kind, n uint64) {
+	ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, region, kind, n)
+}
+
+func (ex *Exec) charge(n uint64) {
+	for n > chunk {
+		ex.ctx.Charge(chunk)
+		n -= chunk
+	}
+	if n > 0 {
+		ex.ctx.Charge(sim.Ticks(n))
+	}
+}
+
+// CurrentCode returns the VMA instruction fetches currently attribute to.
+func (ex *Exec) CurrentCode() *mem.VMA {
+	if len(ex.code) == 0 {
+		panic(fmt.Sprintf("kernel: %s has no code region", ex.T))
+	}
+	return ex.code[len(ex.code)-1]
+}
+
+// PushCode makes v the current code region (a call into that image's text).
+func (ex *Exec) PushCode(v *mem.VMA) {
+	if v == nil {
+		panic("kernel: PushCode(nil)")
+	}
+	ex.code = append(ex.code, v)
+}
+
+// PopCode returns to the caller's code region.
+func (ex *Exec) PopCode() {
+	if len(ex.code) <= 1 {
+		panic("kernel: PopCode would empty the code stack")
+	}
+	ex.code = ex.code[:len(ex.code)-1]
+}
+
+// InCode runs f with v as the current code region.
+func (ex *Exec) InCode(v *mem.VMA, f func()) {
+	ex.PushCode(v)
+	defer ex.PopCode()
+	f()
+}
+
+// Fetch retires n instructions: n instruction reads attributed to the
+// current code region and n ticks of simulated time.
+func (ex *Exec) Fetch(n uint64) {
+	if n == 0 {
+		return
+	}
+	ex.account(ex.CurrentCode().Region, stats.IFetch, n)
+	ex.charge(n)
+}
+
+// Read records n data reads against v's region. Data references ride along
+// with instructions, so they consume no extra ticks; pair them with Fetch
+// (or use Do/Copy which handle both).
+func (ex *Exec) Read(v *mem.VMA, n uint64) {
+	if n != 0 {
+		ex.account(v.Region, stats.DataRead, n)
+	}
+}
+
+// Write records n data writes against v's region.
+func (ex *Exec) Write(v *mem.VMA, n uint64) {
+	if n != 0 {
+		ex.account(v.Region, stats.DataWrite, n)
+	}
+}
+
+// ReadAt records one data read at addr, resolving the containing VMA. It
+// panics on unmapped addresses: workload models must not wander.
+func (ex *Exec) ReadAt(addr mem.Addr) {
+	ex.account(ex.mustFind(addr).Region, stats.DataRead, 1)
+}
+
+// WriteAt records one data write at addr.
+func (ex *Exec) WriteAt(addr mem.Addr) {
+	ex.account(ex.mustFind(addr).Region, stats.DataWrite, 1)
+}
+
+func (ex *Exec) mustFind(addr mem.Addr) *mem.VMA {
+	v := ex.P.AS.Find(addr)
+	if v == nil {
+		panic(fmt.Sprintf("kernel: %s touched unmapped address %#x", ex.T, addr))
+	}
+	return v
+}
+
+// Work describes one iteration of a homogeneous inner loop.
+type Work struct {
+	Fetch  uint64 // instructions per iteration
+	Reads  uint64 // data reads per iteration
+	Writes uint64 // data writes per iteration
+	Data   *mem.VMA
+	// Data2 optionally receives the same read/write counts as Data
+	// (two-operand loops); nil for single-region loops.
+	Data2 *mem.VMA
+}
+
+// Do executes iters iterations of w, interleaving accounting and charging in
+// quantum-sized slices so long loops remain preemptable.
+func (ex *Exec) Do(w Work, iters uint64) {
+	if iters == 0 {
+		return
+	}
+	code := ex.CurrentCode().Region
+	perIter := w.Fetch
+	if perIter == 0 {
+		perIter = 1
+	}
+	step := uint64(chunk) / perIter
+	if step == 0 {
+		step = 1
+	}
+	for done := uint64(0); done < iters; {
+		n := min(step, iters-done)
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, code, stats.IFetch, n*w.Fetch)
+		if w.Data != nil {
+			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data.Region, stats.DataRead, n*w.Reads)
+			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data.Region, stats.DataWrite, n*w.Writes)
+		}
+		if w.Data2 != nil {
+			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data2.Region, stats.DataRead, n*w.Reads)
+			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data2.Region, stats.DataWrite, n*w.Writes)
+		}
+		ex.charge(n * w.Fetch)
+		done += n
+	}
+}
+
+// Copy models a word-at-a-time copy loop of n words from src to dst:
+// fetchPerWord instructions, one read of src and one write of dst per word.
+func (ex *Exec) Copy(dst, src *mem.VMA, words, fetchPerWord uint64) {
+	code := ex.CurrentCode().Region
+	for done := uint64(0); done < words; {
+		n := min(uint64(chunk), words-done)
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, code, stats.IFetch, n*fetchPerWord)
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, src.Region, stats.DataRead, n)
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, dst.Region, stats.DataWrite, n)
+		ex.charge(n * fetchPerWord)
+		done += n
+	}
+}
+
+// CopyBytes performs a real byte copy between VMA backing stores, accounting
+// one reference per word on each side plus two instructions per word.
+func (ex *Exec) CopyBytes(dst *mem.VMA, doff uint64, src *mem.VMA, soff, n uint64) {
+	copy(dst.Slice(doff, n), src.Slice(soff, n))
+	words := (n + 3) / 4
+	ex.Copy(dst, src, words, 2)
+}
+
+// StackWork models register-spill traffic: n instructions with a ~2:1
+// read/write mix against the thread's stack region.
+func (ex *Exec) StackWork(n uint64) {
+	if ex.T.Stack == nil {
+		ex.Fetch(n)
+		return
+	}
+	ex.Do(Work{Fetch: 1, Reads: 1, Data: ex.T.Stack}, n*2/3)
+	ex.Do(Work{Fetch: 1, Writes: 1, Data: ex.T.Stack}, n-n*2/3)
+}
+
+// Syscall models a trip into the kernel: instr instructions fetched from the
+// kernel region and kdata data references (2/3 reads) against kernel
+// structures.
+func (ex *Exec) Syscall(instr, kdata uint64) {
+	kv := ex.P.Layout.Kernel
+	ex.PushCode(kv)
+	ex.Do(Work{Fetch: 1, Data: kv}, instr-min(instr, kdata))
+	if kdata > 0 {
+		r := kdata * 2 / 3
+		ex.Do(Work{Fetch: 1, Reads: 1, Data: kv}, r)
+		ex.Do(Work{Fetch: 1, Writes: 1, Data: kv}, kdata-r)
+	}
+	ex.PopCode()
+}
+
+// SleepFor suspends the thread for d simulated ticks. A timer-tick syscall
+// cost is charged on entry.
+func (ex *Exec) SleepFor(d sim.Ticks) {
+	ex.Syscall(220, 40)
+	ex.ctx.Sleep(ex.K.Clock.Now() + d)
+}
+
+// SleepUntil suspends the thread until the clock reaches t (no-op if t has
+// passed).
+func (ex *Exec) SleepUntil(t sim.Ticks) {
+	if t <= ex.K.Clock.Now() {
+		return
+	}
+	ex.Syscall(220, 40)
+	ex.ctx.Sleep(t)
+}
+
+// Yield lets the scheduler rotate to another runnable thread without
+// blocking this one (sched_yield).
+func (ex *Exec) Yield() {
+	ex.Syscall(90, 12)
+	ex.ctx.YieldNow()
+}

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"fmt"
+
+	"agave/internal/cpu"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+// Config sets the tunables of a kernel instance.
+type Config struct {
+	// Quantum is the scheduler time slice.
+	Quantum sim.Ticks
+	// Seed drives every stochastic decision in the simulation.
+	Seed uint64
+	// IdleRefDivisor controls how many kernel references the swapper idle
+	// loop generates: one instruction fetch per IdleRefDivisor idle ticks.
+	IdleRefDivisor sim.Ticks
+}
+
+// DefaultConfig mirrors a HZ=1000ish Gingerbread kernel: 1 ms quanta.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:        1 * sim.Millisecond,
+		Seed:           1,
+		IdleRefDivisor: 2048,
+	}
+}
+
+// Kernel is the whole simulated machine: clock, scheduler, process table,
+// timers, devices, and the stats collector that receives every attributed
+// reference.
+type Kernel struct {
+	Stats *stats.Collector
+	Clock sim.Clock
+	Cfg   Config
+
+	Timers sim.TimerQueue
+
+	rng     *sim.RNG
+	nextPID int
+	nextTID int
+	procs   []*Process
+	threads []*Thread
+
+	runq []*Thread
+
+	// Swapper is the idle process (pid 0); idle time charges references
+	// to it, which is why it appears in the paper's Figures 3 and 4.
+	Swapper *Process
+	swapT   *Thread
+
+	// Disk is the block storage device serviced by the ata_sff/0 kernel
+	// thread.
+	Disk *BlockDevice
+
+	stopping bool
+}
+
+// New boots an empty machine: swapper and the ata_sff/0 storage thread
+// exist; no user processes yet.
+func New(cfg Config) *Kernel {
+	if cfg.Quantum == 0 {
+		cfg.Quantum = DefaultConfig().Quantum
+	}
+	if cfg.IdleRefDivisor == 0 {
+		cfg.IdleRefDivisor = DefaultConfig().IdleRefDivisor
+	}
+	k := &Kernel{
+		Stats:   stats.NewCollector(),
+		Cfg:     cfg,
+		rng:     sim.NewRNG(cfg.Seed),
+		nextPID: 0,
+		nextTID: 0,
+	}
+	k.Swapper = k.NewKernelProcess("swapper")
+	k.swapT = &Thread{
+		TID:    k.nextTID,
+		Name:   "swapper",
+		Group:  "swapper",
+		Proc:   k.Swapper,
+		State:  StateRunnable,
+		StatID: k.Stats.Thread("swapper"),
+	}
+	k.nextTID++
+	k.Swapper.Threads = append(k.Swapper.Threads, k.swapT)
+	k.Disk = newBlockDevice(k)
+	return k
+}
+
+// RNG returns the kernel's root random source.
+func (k *Kernel) RNG() *sim.RNG { return k.rng }
+
+// Processes returns every process ever created, in creation order.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// Threads returns every thread ever created, in creation order.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// FindProcess returns the first process with the given name, or nil.
+func (k *Kernel) FindProcess(name string) *Process {
+	for _, p := range k.procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ProcessCount counts processes created so far (including kernel ones).
+func (k *Kernel) ProcessCount() int { return len(k.procs) }
+
+// ThreadCount counts threads created so far (excluding swapper's implicit
+// idle context).
+func (k *Kernel) ThreadCount() int { return len(k.threads) }
+
+func (k *Kernel) enqueue(t *Thread) {
+	t.State = StateRunnable
+	k.runq = append(k.runq, t)
+}
+
+func (k *Kernel) dequeue() *Thread {
+	for len(k.runq) > 0 {
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		if t.State == StateRunnable && !t.ctx.Exited() {
+			return t
+		}
+	}
+	return nil
+}
+
+// Wake moves a blocked thread back onto the run queue. Waking a runnable or
+// exited thread is a no-op.
+func (k *Kernel) Wake(t *Thread) {
+	if t.State != StateBlocked && t.State != StateSleeping {
+		return
+	}
+	t.waitingOn = nil
+	k.enqueue(t)
+}
+
+// Run advances the machine until the simulated clock reaches deadline.
+// Threads run in deterministic round-robin order; timers fire between
+// quanta; idle time is charged to swapper.
+func (k *Kernel) Run(deadline sim.Ticks) {
+	for k.Clock.Now() < deadline {
+		k.Timers.FireDue(k.Clock.Now())
+		t := k.dequeue()
+		if t == nil {
+			k.idle(deadline)
+			continue
+		}
+		t.State = StateRunning
+		y := t.ctx.Run(k.Cfg.Quantum)
+		k.Clock.Advance(y.Used)
+		switch y.Reason {
+		default:
+			panic(fmt.Sprintf("kernel: unknown yield reason %v", y.Reason))
+		case cpu.YieldQuantum:
+			k.enqueue(t)
+		case cpu.YieldBlocked:
+			t.State = StateBlocked
+		case cpu.YieldSleep:
+			t.State = StateSleeping
+			t.wakeAt = y.WakeAt
+			tt := t
+			k.Timers.Schedule(y.WakeAt, func(sim.Ticks) { k.Wake(tt) })
+		case cpu.YieldExit:
+			t.State = StateExited
+		}
+	}
+}
+
+// idle advances the clock to the next timer deadline (or the run deadline)
+// and charges swapper's idle-loop references, which is how the swapper
+// process earns its place in the paper's process breakdowns.
+func (k *Kernel) idle(deadline sim.Ticks) {
+	next := deadline
+	if when, ok := k.Timers.NextDeadline(); ok && when < next {
+		next = when
+	}
+	if next <= k.Clock.Now() {
+		next = k.Clock.Now() + 1
+	}
+	idleTicks := next - k.Clock.Now()
+	refs := uint64(idleTicks / k.Cfg.IdleRefDivisor)
+	if refs > 0 {
+		kv := k.Swapper.Layout.Kernel
+		k.Stats.Add(k.Swapper.StatID, k.swapT.StatID, kv.Region, stats.IFetch, refs)
+		k.Stats.Add(k.Swapper.StatID, k.swapT.StatID, kv.Region, stats.DataRead, refs/4)
+	}
+	k.Clock.Set(next)
+}
+
+// Shutdown kills every live thread so their goroutines exit. The kernel must
+// not be Run again afterwards. Tests and benchmarks call this to avoid
+// leaking goroutines between runs.
+func (k *Kernel) Shutdown() {
+	k.stopping = true
+	for _, t := range k.threads {
+		if t.ctx != nil {
+			t.ctx.Kill()
+			t.State = StateExited
+		}
+	}
+}

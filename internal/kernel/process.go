@@ -1,0 +1,194 @@
+// Package kernel models the operating-system layer the paper instruments: a
+// Linux-2.6.35-like kernel with processes, threads, a deterministic
+// scheduler, syscall-time attribution to the "OS kernel" region, kernel
+// service threads (swapper, ata_sff/0), and the wait/wake primitives the
+// Android stack models build on.
+package kernel
+
+import (
+	"fmt"
+
+	"agave/internal/cpu"
+	"agave/internal/mem"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+// ThreadState tracks where a thread is from the scheduler's point of view.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateRunnable ThreadState = iota
+	StateRunning
+	StateSleeping
+	StateBlocked
+	StateExited
+)
+
+// Process is one simulated process: a name (the unit of the paper's Figures
+// 3 and 4), an address space, and a set of threads.
+type Process struct {
+	PID    int
+	Name   string
+	AS     *mem.AddressSpace
+	Layout *mem.Layout
+	Parent *Process
+
+	// StatID is the interned stats process ID for Name.
+	StatID stats.ProcID
+
+	// RNG is the process-private deterministic random source.
+	RNG *sim.RNG
+
+	Threads []*Thread
+
+	kern    *Kernel
+	nextTID int
+}
+
+// Kernel returns the owning kernel.
+func (p *Process) Kernel() *Kernel { return p.kern }
+
+// MainThread returns the first thread, or nil before any thread is spawned.
+func (p *Process) MainThread() *Thread {
+	if len(p.Threads) == 0 {
+		return nil
+	}
+	return p.Threads[0]
+}
+
+// LiveThreads counts threads that have not exited.
+func (p *Process) LiveThreads() int {
+	n := 0
+	for _, t := range p.Threads {
+		if t.State != StateExited {
+			n++
+		}
+	}
+	return n
+}
+
+// Thread is one simulated kernel-schedulable thread.
+type Thread struct {
+	TID  int
+	Name string // instance name, e.g. "AsyncTask #2"
+	// Group is the name Table I ranks by, e.g. "AsyncTask". Pool workers
+	// share a group; singleton threads use their own name.
+	Group string
+	Proc  *Process
+	State ThreadState
+
+	// StatID is the interned stats thread ID for Group.
+	StatID stats.ThreadID
+
+	// Stack is the thread's stack VMA: the "stack" region for main
+	// threads, an anonymous mmap for pthread-created ones (as on real
+	// Gingerbread).
+	Stack *mem.VMA
+
+	ctx    *cpu.Context
+	wakeAt sim.Ticks
+	// waitingOn is the queue the thread is blocked on, for diagnostics.
+	waitingOn *WaitQueue
+}
+
+// String identifies the thread for diagnostics.
+func (t *Thread) String() string {
+	return fmt.Sprintf("%s/%s (pid %d tid %d)", t.Proc.Name, t.Name, t.Proc.PID, t.TID)
+}
+
+// NewProcess creates a process with the canonical user address-space
+// skeleton (app binary text, heap, stack, kernel region).
+func (k *Kernel) NewProcess(name string, textSize, heapSize uint64) *Process {
+	p := k.newBareProcess(name)
+	p.Layout = mem.NewLayout(p.AS, textSize, heapSize)
+	return p
+}
+
+// newBareProcess creates a process with an empty address space (kernel
+// threads map only the kernel region).
+func (k *Kernel) newBareProcess(name string) *Process {
+	p := &Process{
+		PID:    k.nextPID,
+		Name:   name,
+		AS:     mem.NewAddressSpace(k.Stats),
+		StatID: k.Stats.Proc(name),
+		RNG:    k.rng.Fork(),
+		kern:   k,
+	}
+	k.nextPID++
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// NewKernelProcess creates a kernel-thread process (swapper, ata_sff/0):
+// only the kernel region is mapped and all execution is attributed to it.
+func (k *Kernel) NewKernelProcess(name string) *Process {
+	p := k.newBareProcess(name)
+	kv, err := p.AS.Map(mem.KernelVA, mem.KernelLen, mem.RegionKernel,
+		mem.PermRead|mem.PermWrite|mem.PermExec, mem.ClassKernel)
+	if err != nil {
+		panic(err)
+	}
+	p.Layout = &mem.Layout{Kernel: kv, NextLib: mem.MmapBase}
+	return p
+}
+
+// Fork clones parent into a child process named name, copying the address
+// space with zygote copy-on-write semantics (read-only and shared mappings
+// alias the parent's memory). The child starts with no threads.
+func (k *Kernel) Fork(parent *Process, name string) *Process {
+	child := &Process{
+		PID:    k.nextPID,
+		Name:   name,
+		AS:     parent.AS.Clone(),
+		StatID: k.Stats.Proc(name),
+		RNG:    k.rng.Fork(),
+		kern:   k,
+		Parent: parent,
+	}
+	k.nextPID++
+	child.Layout = &mem.Layout{
+		Text:    child.AS.FindByName(mem.RegionAppBinary),
+		Heap:    child.AS.FindByName(mem.RegionHeap),
+		Stack:   child.AS.FindByName(mem.RegionStack),
+		Kernel:  child.AS.FindByName(mem.RegionKernel),
+		NextLib: parent.Layout.NextLib,
+	}
+	k.procs = append(k.procs, child)
+	return child
+}
+
+// SpawnThread creates and starts a thread in p running body. The first
+// thread of a process uses the main "stack" region; later threads get
+// anonymous mmap stacks. group is the Table-I accounting name.
+func (k *Kernel) SpawnThread(p *Process, name, group string, body func(ex *Exec)) *Thread {
+	t := &Thread{
+		TID:    k.nextTID,
+		Name:   name,
+		Group:  group,
+		Proc:   p,
+		State:  StateRunnable,
+		StatID: k.Stats.Thread(group),
+		ctx:    cpu.NewContext(),
+	}
+	k.nextTID++
+	p.nextTID++
+	if len(p.Threads) == 0 && p.Layout != nil && p.Layout.Stack != nil {
+		t.Stack = p.Layout.Stack
+	} else if p.Layout != nil {
+		t.Stack = p.Layout.MapAnon(p.AS, mem.ThreadStackSize)
+	}
+	p.Threads = append(p.Threads, t)
+	k.threads = append(k.threads, t)
+	ex := &Exec{K: k, P: p, T: t, ctx: t.ctx}
+	if p.Layout != nil && p.Layout.Kernel != nil {
+		// The bottom of every code stack is the kernel region: a thread
+		// with no user code region (kernel threads) fetches from it.
+		ex.code = append(ex.code, p.Layout.Kernel)
+	}
+	t.ctx.Start(func() { body(ex) })
+	k.enqueue(t)
+	return t
+}

@@ -1,0 +1,111 @@
+package kernel
+
+// WaitQueue is the kernel's block/wake primitive (the moral equivalent of a
+// futex wait queue). Because exactly one simulated thread runs at a time,
+// the check-then-wait pattern
+//
+//	for !cond() {
+//	    ex.Wait(wq)
+//	}
+//
+// is free of lost wakeups by construction.
+type WaitQueue struct {
+	k       *Kernel
+	Name    string
+	waiters []*Thread
+}
+
+// NewWaitQueue returns an empty queue. The name is for diagnostics only.
+func (k *Kernel) NewWaitQueue(name string) *WaitQueue {
+	return &WaitQueue{k: k, Name: name}
+}
+
+// Wait blocks the calling thread on wq until another thread wakes it. The
+// futex-syscall cost is charged on entry.
+func (ex *Exec) Wait(wq *WaitQueue) {
+	ex.Syscall(180, 30)
+	wq.waiters = append(wq.waiters, ex.T)
+	ex.T.waitingOn = wq
+	ex.ctx.Block()
+}
+
+// WaitFree blocks without charging a syscall (for callers that already
+// accounted the kernel entry themselves).
+func (ex *Exec) WaitFree(wq *WaitQueue) {
+	wq.waiters = append(wq.waiters, ex.T)
+	ex.T.waitingOn = wq
+	ex.ctx.Block()
+}
+
+// WakeOne wakes the longest-waiting thread; it reports whether anything was
+// woken.
+func (wq *WaitQueue) WakeOne() bool {
+	for len(wq.waiters) > 0 {
+		t := wq.waiters[0]
+		wq.waiters = wq.waiters[1:]
+		if t.State == StateBlocked {
+			wq.k.Wake(t)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeAll wakes every waiter, returning the count woken.
+func (wq *WaitQueue) WakeAll() int {
+	n := 0
+	for wq.WakeOne() {
+		n++
+	}
+	return n
+}
+
+// Waiters reports the number of threads currently parked on wq.
+func (wq *WaitQueue) Waiters() int { return len(wq.waiters) }
+
+// MsgQueue is a deterministic FIFO mailbox built on two wait queues. It
+// backs Android Looper message queues, Binder transaction queues, media
+// buffer queues, and the storage request queue.
+type MsgQueue struct {
+	Name     string
+	notEmpty *WaitQueue
+	msgs     []any
+}
+
+// NewMsgQueue returns an empty unbounded mailbox.
+func (k *Kernel) NewMsgQueue(name string) *MsgQueue {
+	return &MsgQueue{Name: name, notEmpty: k.NewWaitQueue(name + ".notEmpty")}
+}
+
+// Send enqueues m and wakes one receiver. Sending charges a small kernel
+// cost (the futex wake).
+func (ex *Exec) Send(q *MsgQueue, m any) {
+	ex.Syscall(140, 24)
+	q.msgs = append(q.msgs, m)
+	q.notEmpty.WakeOne()
+}
+
+// Recv dequeues the oldest message, blocking while the queue is empty.
+func (ex *Exec) Recv(q *MsgQueue) any {
+	for len(q.msgs) == 0 {
+		ex.Wait(q.notEmpty)
+	}
+	m := q.msgs[0]
+	q.msgs[0] = nil
+	q.msgs = q.msgs[1:]
+	return m
+}
+
+// TryRecv dequeues without blocking; ok is false when the queue is empty.
+func (q *MsgQueue) TryRecv() (m any, ok bool) {
+	if len(q.msgs) == 0 {
+		return nil, false
+	}
+	m = q.msgs[0]
+	q.msgs[0] = nil
+	q.msgs = q.msgs[1:]
+	return m, true
+}
+
+// Len reports queued message count.
+func (q *MsgQueue) Len() int { return len(q.msgs) }

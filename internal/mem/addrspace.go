@@ -1,0 +1,216 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"agave/internal/stats"
+)
+
+// AddressSpace is one process's virtual memory map: a sorted, non-overlapping
+// set of VMAs plus the brk pointer for the classic heap.
+type AddressSpace struct {
+	vmas []*VMA // sorted by Start
+	brk  Addr   // current program break (top of the "heap" VMA)
+
+	collector *stats.Collector
+
+	// lookup cache: the last VMA hit. Valid because the simulator advances
+	// one thread at a time.
+	last *VMA
+}
+
+// NewAddressSpace returns an empty map whose VMAs intern their region names
+// into c.
+func NewAddressSpace(c *stats.Collector) *AddressSpace {
+	return &AddressSpace{collector: c}
+}
+
+// Collector exposes the stats collector used for region interning.
+func (as *AddressSpace) Collector() *stats.Collector { return as.collector }
+
+// Map installs a VMA covering [start, start+size). size is rounded up to a
+// whole number of pages. It returns an error if the range overlaps an
+// existing mapping.
+func (as *AddressSpace) Map(start Addr, size uint64, name string, perms Perm, class Class) (*VMA, error) {
+	size = roundUp(size)
+	if size == 0 {
+		return nil, fmt.Errorf("mem: zero-size mapping %q", name)
+	}
+	end := start + size
+	if i := as.overlapIndex(start, end); i >= 0 {
+		return nil, fmt.Errorf("mem: mapping %q [%#x,%#x) overlaps %s", name, start, end, as.vmas[i])
+	}
+	v := &VMA{
+		Start:  start,
+		End:    end,
+		Name:   name,
+		Perms:  perms,
+		Class:  class,
+		Region: as.collector.Region(name),
+	}
+	as.insert(v)
+	return v, nil
+}
+
+// MapAnywhere installs a VMA of the given size at the lowest free gap at or
+// above hint.
+func (as *AddressSpace) MapAnywhere(hint Addr, size uint64, name string, perms Perm, class Class) *VMA {
+	size = roundUp(size)
+	start := as.findGap(hint, size)
+	v, err := as.Map(start, size, name, perms, class)
+	if err != nil {
+		// findGap guarantees no overlap; reaching here is a bug.
+		panic(err)
+	}
+	return v
+}
+
+// MapShared installs a VMA aliasing the backing store of src (which may
+// belong to another address space), at the lowest free gap at or above hint.
+// The new VMA shares src's name, class, and bytes.
+func (as *AddressSpace) MapShared(hint Addr, src *VMA, perms Perm) *VMA {
+	src.materialize()
+	v := as.MapAnywhere(hint, src.Size(), src.Name, perms, src.Class)
+	v.Shared = true
+	v.store = src.store
+	src.Shared = true
+	return v
+}
+
+// Unmap removes the VMA. It is an error to unmap a VMA not in this space.
+func (as *AddressSpace) Unmap(v *VMA) error {
+	for i, w := range as.vmas {
+		if w == v {
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			if as.last == v {
+				as.last = nil
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("mem: unmap of unknown VMA %s", v)
+}
+
+// Find resolves addr to its containing VMA, or nil when unmapped.
+func (as *AddressSpace) Find(addr Addr) *VMA {
+	if as.last != nil && as.last.Contains(addr) {
+		return as.last
+	}
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End > addr })
+	if i < len(as.vmas) && as.vmas[i].Contains(addr) {
+		as.last = as.vmas[i]
+		return as.vmas[i]
+	}
+	return nil
+}
+
+// FindByName returns the first VMA with the given name, or nil.
+func (as *AddressSpace) FindByName(name string) *VMA {
+	for _, v := range as.vmas {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// VMAs returns the mappings in address order. The caller must not mutate the
+// slice.
+func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
+
+// Count reports the number of mappings.
+func (as *AddressSpace) Count() int { return len(as.vmas) }
+
+// SetBrk initializes the program break used by Brk growth.
+func (as *AddressSpace) SetBrk(brk Addr) { as.brk = brk }
+
+// Brk grows (or shrinks) the classic heap VMA to the new break and returns
+// the resulting break. Growing fails silently (returning the old break) if it
+// would collide with the next mapping, mirroring Linux.
+func (as *AddressSpace) Brk(newBrk Addr) Addr {
+	heap := as.FindByName("heap")
+	if heap == nil || newBrk == 0 {
+		return as.brk
+	}
+	newBrk = roundUp(newBrk)
+	if newBrk <= heap.Start {
+		return as.brk
+	}
+	if i := as.overlapIndexExcept(heap.Start, newBrk, heap); i >= 0 {
+		return as.brk
+	}
+	if newBrk > heap.End && heap.store != nil && heap.store.data != nil {
+		grown := make([]byte, newBrk-heap.Start)
+		copy(grown, heap.store.data)
+		heap.store.data = grown
+	}
+	heap.End = newBrk
+	as.brk = newBrk
+	return as.brk
+}
+
+// Clone produces the child address space of a fork. Shared and read-only
+// VMAs alias the parent's backing store (zygote's copy-on-write model: text,
+// preloaded heaps); writable private VMAs are deep-copied if materialized.
+func (as *AddressSpace) Clone() *AddressSpace {
+	child := NewAddressSpace(as.collector)
+	child.brk = as.brk
+	child.vmas = make([]*VMA, 0, len(as.vmas))
+	for _, v := range as.vmas {
+		nv := &VMA{
+			Start:  v.Start,
+			End:    v.End,
+			Name:   v.Name,
+			Perms:  v.Perms,
+			Class:  v.Class,
+			Region: v.Region,
+			Shared: v.Shared,
+		}
+		switch {
+		case v.Shared || v.Perms&PermWrite == 0:
+			nv.store = v.store
+		case v.store != nil && v.store.data != nil:
+			nv.store = &store{data: append([]byte(nil), v.store.data...)}
+		}
+		child.vmas = append(child.vmas, nv)
+	}
+	return child
+}
+
+func (as *AddressSpace) insert(v *VMA) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].Start >= v.Start })
+	as.vmas = append(as.vmas, nil)
+	copy(as.vmas[i+1:], as.vmas[i:])
+	as.vmas[i] = v
+}
+
+func (as *AddressSpace) overlapIndex(start, end Addr) int {
+	return as.overlapIndexExcept(start, end, nil)
+}
+
+func (as *AddressSpace) overlapIndexExcept(start, end Addr, skip *VMA) int {
+	for i, v := range as.vmas {
+		if v != skip && v.Start < end && start < v.End {
+			return i
+		}
+	}
+	return -1
+}
+
+// findGap locates the lowest page-aligned start ≥ hint such that
+// [start, start+size) is unmapped.
+func (as *AddressSpace) findGap(hint Addr, size uint64) Addr {
+	start := roundUp(hint)
+	for {
+		i := as.overlapIndex(start, start+size)
+		if i < 0 {
+			return start
+		}
+		start = as.vmas[i].End
+	}
+}
+
+func roundUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ uint64(PageSize-1)
+}

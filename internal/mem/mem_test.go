@@ -1,0 +1,312 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"agave/internal/stats"
+)
+
+func newAS() *AddressSpace { return NewAddressSpace(stats.NewCollector()) }
+
+func TestMapAndFind(t *testing.T) {
+	as := newAS()
+	v, err := as.Map(0x1000, 0x2000, "libdvm.so", PermRead|PermExec, ClassText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Find(0x1000); got != v {
+		t.Fatal("Find(start) missed")
+	}
+	if got := as.Find(0x2fff); got != v {
+		t.Fatal("Find(end-1) missed")
+	}
+	if got := as.Find(0x3000); got != nil {
+		t.Fatal("Find(end) should be unmapped")
+	}
+	if got := as.Find(0xfff); got != nil {
+		t.Fatal("Find(start-1) should be unmapped")
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	as := newAS()
+	if _, err := as.Map(0x1000, 0x2000, "a", PermRead, ClassAnon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Map(0x2000, 0x2000, "b", PermRead, ClassAnon); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	if _, err := as.Map(0x0, 0x1001, "c", PermRead, ClassAnon); err == nil {
+		t.Fatal("overlapping map accepted")
+	}
+	// Adjacent is fine.
+	if _, err := as.Map(0x3000, 0x1000, "d", PermRead, ClassAnon); err != nil {
+		t.Fatalf("adjacent map rejected: %v", err)
+	}
+}
+
+func TestMapRoundsToPages(t *testing.T) {
+	as := newAS()
+	v, err := as.Map(0x1000, 100, "x", PermRead, ClassAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != PageSize {
+		t.Fatalf("size = %d, want one page", v.Size())
+	}
+}
+
+func TestZeroSizeMapRejected(t *testing.T) {
+	as := newAS()
+	if _, err := as.Map(0x1000, 0, "x", PermRead, ClassAnon); err == nil {
+		t.Fatal("zero-size map accepted")
+	}
+}
+
+func TestMapAnywhereSkipsGaps(t *testing.T) {
+	as := newAS()
+	mustMap(t, as, 0x10000, 0x1000, "a")
+	mustMap(t, as, 0x12000, 0x1000, "b")
+	v := as.MapAnywhere(0x10000, 0x1000, "c", PermRead, ClassAnon)
+	if v.Start != 0x11000 {
+		t.Fatalf("MapAnywhere landed at %#x, want 0x11000 (first gap)", v.Start)
+	}
+	v2 := as.MapAnywhere(0x10000, 0x4000, "d", PermRead, ClassAnon)
+	if v2.Start != 0x13000 {
+		t.Fatalf("large MapAnywhere landed at %#x, want 0x13000", v2.Start)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := newAS()
+	v := mustMap(t, as, 0x1000, 0x1000, "a")
+	if err := as.Unmap(v); err != nil {
+		t.Fatal(err)
+	}
+	if as.Find(0x1000) != nil {
+		t.Fatal("unmapped region still found")
+	}
+	if err := as.Unmap(v); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestSliceAndBytes(t *testing.T) {
+	as := newAS()
+	v := mustMap(t, as, 0x1000, 0x2000, "buf")
+	s := v.Slice(16, 4)
+	s[0] = 0xAB
+	if v.Bytes()[16] != 0xAB {
+		t.Fatal("slice views not aliased")
+	}
+	if v.AddrOf(16) != 0x1010 {
+		t.Fatalf("AddrOf = %#x", v.AddrOf(16))
+	}
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	as := newAS()
+	v := mustMap(t, as, 0x1000, 0x1000, "buf")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice did not panic")
+		}
+	}()
+	v.Slice(PageSize-1, 2)
+}
+
+func TestBrkGrowsHeap(t *testing.T) {
+	as := newAS()
+	NewLayout(as, 0x10000, 0x10000)
+	heap := as.FindByName(RegionHeap)
+	oldEnd := heap.End
+	got := as.Brk(oldEnd + 0x5000)
+	if got != oldEnd+0x5000 || heap.End != got {
+		t.Fatalf("Brk = %#x, heap end %#x", got, heap.End)
+	}
+	// Shrinking below start is refused.
+	if got := as.Brk(heap.Start - 1); got != heap.End {
+		t.Fatal("Brk below heap start should be refused")
+	}
+}
+
+func TestBrkCollisionRefused(t *testing.T) {
+	as := newAS()
+	NewLayout(as, 0x10000, 0x10000)
+	heap := as.FindByName(RegionHeap)
+	// Map a blocker immediately after the heap.
+	mustMap(t, as, heap.End, 0x1000, "blocker")
+	if got := as.Brk(heap.End + 0x1000); got != heap.End {
+		t.Fatalf("Brk grew into blocker: %#x", got)
+	}
+}
+
+func TestBrkPreservesData(t *testing.T) {
+	as := newAS()
+	NewLayout(as, 0x10000, 0x10000)
+	heap := as.FindByName(RegionHeap)
+	heap.Bytes()[0] = 42
+	as.Brk(heap.End + 0x10000)
+	if heap.Bytes()[0] != 42 {
+		t.Fatal("Brk lost heap contents")
+	}
+	if uint64(len(heap.Bytes())) != heap.Size() {
+		t.Fatal("backing size mismatch after growth")
+	}
+}
+
+func TestCloneSharingSemantics(t *testing.T) {
+	as := newAS()
+	ro := mustMapPerm(t, as, 0x1000, 0x1000, "libc.so", PermRead|PermExec)
+	rw := mustMap(t, as, 0x3000, 0x1000, "private")
+	sh := mustMap(t, as, 0x5000, 0x1000, "ashmem")
+	sh.Shared = true
+	rw.Bytes()[0] = 1
+	sh.Bytes()[0] = 2
+	ro.Bytes()[0] = 3
+
+	child := as.Clone()
+	crw := child.FindByName("private")
+	csh := child.FindByName("ashmem")
+	cro := child.FindByName("libc.so")
+
+	crw.Bytes()[0] = 99
+	if rw.Bytes()[0] != 1 {
+		t.Fatal("private mapping leaked between parent and child")
+	}
+	csh.Bytes()[0] = 88
+	if sh.Bytes()[0] != 88 {
+		t.Fatal("shared mapping not shared")
+	}
+	if cro.Bytes()[0] != 3 {
+		t.Fatal("read-only mapping lost contents")
+	}
+}
+
+func TestMapShared(t *testing.T) {
+	c := stats.NewCollector()
+	a, b := NewAddressSpace(c), NewAddressSpace(c)
+	src := &VMA{}
+	la := NewLayout(a, 0x1000, 0x1000)
+	_ = la
+	srcV, err := a.Map(0x50000000, 0x1000, "gralloc-buffer", PermRead|PermWrite, ClassShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcV.Bytes()[7] = 0x5A
+	dstV := b.MapShared(0x40000000, srcV, PermRead|PermWrite)
+	if dstV.Bytes()[7] != 0x5A {
+		t.Fatal("MapShared does not alias source bytes")
+	}
+	dstV.Bytes()[7] = 0x66
+	if srcV.Bytes()[7] != 0x66 {
+		t.Fatal("MapShared writes not visible to source")
+	}
+	if dstV.Name != "gralloc-buffer" {
+		t.Fatalf("shared name = %q", dstV.Name)
+	}
+	_ = src
+}
+
+func TestLayoutSkeleton(t *testing.T) {
+	as := newAS()
+	l := NewLayout(as, 0x20000, 0x40000)
+	for _, tc := range []struct {
+		v    *VMA
+		name string
+	}{
+		{l.Text, RegionAppBinary},
+		{l.Heap, RegionHeap},
+		{l.Stack, RegionStack},
+		{l.Kernel, RegionKernel},
+	} {
+		if tc.v == nil || tc.v.Name != tc.name {
+			t.Fatalf("layout region %q missing or misnamed: %v", tc.name, tc.v)
+		}
+	}
+	if as.Find(TextBase) != l.Text {
+		t.Fatal("text not at TextBase")
+	}
+	if as.Find(KernelVA) != l.Kernel {
+		t.Fatal("kernel not at KernelVA")
+	}
+}
+
+func TestMapLibraryBumpsPointer(t *testing.T) {
+	as := newAS()
+	l := NewLayout(as, 0x1000, 0x1000)
+	t1, d1 := l.MapLibrary(as, "libdvm.so", 0x80000, 0x10000)
+	t2, _ := l.MapLibrary(as, "libskia.so", 0x100000, 0)
+	if d1 == nil || d1.Name != "libdvm.so (data)" {
+		t.Fatalf("data segment = %v", d1)
+	}
+	if t2.Start < d1.End || t1.End > d1.Start {
+		t.Fatal("library layout not monotonic")
+	}
+}
+
+func TestMapAnonName(t *testing.T) {
+	as := newAS()
+	l := NewLayout(as, 0x1000, 0x1000)
+	v := l.MapAnon(as, ThreadStackSize)
+	if v.Name != RegionAnonymous {
+		t.Fatalf("anon mapping named %q", v.Name)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if (PermRead | PermWrite).String() != "rw-" {
+		t.Fatalf("perm string %q", (PermRead | PermWrite).String())
+	}
+	if (PermRead | PermExec).String() != "r-x" {
+		t.Fatalf("perm string %q", (PermRead | PermExec).String())
+	}
+}
+
+// Property: after any sequence of non-overlapping maps, every address inside
+// a VMA resolves to it and VMAs stay sorted and disjoint.
+func TestAddressSpaceInvariantProperty(t *testing.T) {
+	f := func(starts []uint16) bool {
+		as := newAS()
+		var mapped []*VMA
+		for _, s := range starts {
+			start := Addr(s) * PageSize * 4
+			v, err := as.Map(start, 2*PageSize, "r", PermRead, ClassAnon)
+			if err == nil {
+				mapped = append(mapped, v)
+			}
+		}
+		// Sorted & disjoint.
+		vs := as.VMAs()
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1].End > vs[i].Start {
+				return false
+			}
+		}
+		// Lookup consistency.
+		for _, v := range mapped {
+			if as.Find(v.Start) != v || as.Find(v.End-1) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustMap(t *testing.T, as *AddressSpace, start Addr, size uint64, name string) *VMA {
+	t.Helper()
+	return mustMapPerm(t, as, start, size, name, PermRead|PermWrite)
+}
+
+func mustMapPerm(t *testing.T, as *AddressSpace, start Addr, size uint64, name string, p Perm) *VMA {
+	t.Helper()
+	v, err := as.Map(start, size, name, p, ClassAnon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+// Package mem models per-process virtual memory as the paper measures it:
+// each address space is an ordered set of named virtual memory areas (VMAs),
+// and every simulated access resolves to the VMA containing its address. The
+// VMA *name* ("libdvm.so", "dalvik-heap", "gralloc-buffer", "anonymous", ...)
+// is the unit of the paper's Figures 1 and 2.
+package mem
+
+import (
+	"fmt"
+
+	"agave/internal/stats"
+)
+
+// Addr is a simulated 32-bit virtual address (held in 64 bits for headroom).
+type Addr = uint64
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// Perm is a VMA permission bitmask.
+type Perm uint8
+
+// Permission bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// String renders perms in /proc/pid/maps style.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Class is a coarse taxonomy of regions used by reporting and by layout
+// decisions. The figures key on names, but the class drives behaviours such
+// as which regions fork shares versus copies.
+type Class uint8
+
+// Region classes.
+const (
+	ClassText    Class = iota // an executable image: app binary or .so text
+	ClassData                 // an image's writable data segment
+	ClassHeap                 // the classic brk heap
+	ClassStack                // a main-thread stack
+	ClassAnon                 // anonymous mmap (includes thread stacks)
+	ClassShared               // shared between processes (ashmem, gralloc, ...)
+	ClassDevice               // device mapping (fb0, binder, ...)
+	ClassKernel               // the pseudo-region for kernel-mode execution
+	ClassRuntime              // managed-runtime arenas (dalvik-heap, LinearAlloc, jit cache, mspace)
+)
+
+// VMA is one contiguous mapped region [Start, End) of an address space.
+type VMA struct {
+	Start Addr
+	End   Addr
+	Name  string
+	Perms Perm
+	Class Class
+
+	// Region is the interned stats ID for Name, cached so the accounting
+	// hot path avoids string work.
+	Region stats.RegionID
+
+	// Shared marks mappings whose backing is shared across address spaces
+	// (and therefore across fork).
+	Shared bool
+
+	store *store
+}
+
+// Size reports the VMA length in bytes.
+func (v *VMA) Size() uint64 { return v.End - v.Start }
+
+// Contains reports whether addr falls inside the VMA.
+func (v *VMA) Contains(addr Addr) bool { return addr >= v.Start && addr < v.End }
+
+// String renders the VMA in /proc/pid/maps style.
+func (v *VMA) String() string {
+	return fmt.Sprintf("%08x-%08x %s %s", v.Start, v.End, v.Perms, v.Name)
+}
+
+// Slice returns a mutable view of n bytes starting at byte offset off within
+// the VMA, materializing backing storage on first touch. Programs that do
+// real computation on simulated memory (decoders, rasterizers, interpreters)
+// operate on these views.
+func (v *VMA) Slice(off, n uint64) []byte {
+	if off+n > v.Size() {
+		panic(fmt.Sprintf("mem: slice [%d,%d) outside %s of size %d", off, off+n, v.Name, v.Size()))
+	}
+	v.materialize()
+	return v.store.data[off : off+n]
+}
+
+// Bytes returns a mutable view of the whole VMA.
+func (v *VMA) Bytes() []byte { return v.Slice(0, v.Size()) }
+
+// AddrOf converts a byte offset within the VMA to a virtual address.
+func (v *VMA) AddrOf(off uint64) Addr {
+	if off > v.Size() {
+		panic(fmt.Sprintf("mem: offset %d outside %s", off, v.Name))
+	}
+	return v.Start + off
+}
+
+func (v *VMA) materialize() {
+	if v.store == nil {
+		v.store = &store{}
+	}
+	if v.store.data == nil {
+		v.store.data = make([]byte, v.Size())
+	}
+}
+
+// store is the byte backing of a VMA. Shared VMAs alias one store across
+// address spaces; private VMAs deep-copy on fork once materialized.
+type store struct {
+	data []byte
+}

@@ -1,0 +1,40 @@
+// Package sim provides the deterministic simulation substrate shared by the
+// rest of the Agave reproduction: a virtual clock measured in ticks, a timer
+// queue, and a seedable pseudo-random source.
+//
+// One tick corresponds to one simulated CPU cycle of the atomic CPU model
+// (one instruction per tick, mirroring gem5's AtomicSimpleCPU as used by the
+// paper). At the nominal 1 GHz clock, 1 tick = 1 ns of simulated time.
+package sim
+
+// Ticks is a point in, or span of, simulated time. One tick is one atomic-CPU
+// instruction slot (1 ns at the nominal 1 GHz clock).
+type Ticks uint64
+
+// Common spans at the nominal 1 GHz simulated clock.
+const (
+	Nanosecond  Ticks = 1
+	Microsecond Ticks = 1e3
+	Millisecond Ticks = 1e6
+	Second      Ticks = 1e9
+)
+
+// Clock is the simulated wall clock. The zero value reads zero ticks.
+type Clock struct {
+	now Ticks
+}
+
+// Now reports the current simulated time.
+func (c *Clock) Now() Ticks { return c.now }
+
+// Advance moves the clock forward by d ticks.
+func (c *Clock) Advance(d Ticks) { c.now += d }
+
+// Set jumps the clock to t. It panics if t is in the past: simulated time is
+// monotonic by construction.
+func (c *Clock) Set(t Ticks) {
+	if t < c.now {
+		panic("sim: clock moved backwards")
+	}
+	c.now = t
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "container/heap"
+
+// Timer is a pending callback registered with a TimerQueue.
+type Timer struct {
+	// When is the deadline in simulated ticks.
+	When Ticks
+	// Fire is invoked when the deadline is reached. It runs on the
+	// simulation loop; it must not block.
+	Fire func(now Ticks)
+
+	index int // heap index; -1 when not queued
+	seq   uint64
+}
+
+// TimerQueue is a deterministic priority queue of timers. Ties on deadline
+// fire in registration order, which keeps runs reproducible.
+type TimerQueue struct {
+	h   timerHeap
+	seq uint64
+}
+
+// Schedule registers fire to run at deadline when. It returns the timer so
+// the caller may cancel it.
+func (q *TimerQueue) Schedule(when Ticks, fire func(now Ticks)) *Timer {
+	t := &Timer{When: when, Fire: fire, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, t)
+	return t
+}
+
+// Cancel removes t from the queue. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (q *TimerQueue) Cancel(t *Timer) {
+	if t == nil || t.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, t.index)
+}
+
+// Len reports the number of pending timers.
+func (q *TimerQueue) Len() int { return len(q.h) }
+
+// NextDeadline reports the earliest pending deadline. ok is false when the
+// queue is empty.
+func (q *TimerQueue) NextDeadline() (when Ticks, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].When, true
+}
+
+// FireDue pops and fires every timer with deadline ≤ now, in deadline order.
+// It returns the number of timers fired. Callbacks may schedule new timers;
+// newly scheduled timers that are already due fire in the same call.
+func (q *TimerQueue) FireDue(now Ticks) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].When <= now {
+		t := heap.Pop(&q.h).(*Timer)
+		t.Fire(now)
+		n++
+	}
+	return n
+}
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,372 @@
+// Package stats implements the reference-accounting engine of the Agave
+// reproduction. It plays the role of the gem5/kernel modifications described
+// in the paper: every instruction fetch and data reference in the simulation
+// is attributed to a (process, thread, virtual-memory region) triple, and the
+// figures and tables of the evaluation are folds over the resulting counter
+// matrix.
+//
+// Names are interned to small integer IDs so the hot accounting path is a
+// single map update. Thread names are registered by *group* name (for
+// example, all "AsyncTask #N" pool workers account as "AsyncTask"), matching
+// how the paper's Table I ranks threads.
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind labels a memory access class.
+type Kind uint8
+
+// Access classes. The paper's figures use instruction reads (Fig 1, Fig 3),
+// data references = reads+writes (Fig 2, Fig 4), and total memory references
+// = everything (Table I).
+const (
+	IFetch Kind = iota
+	DataRead
+	DataWrite
+	numKinds
+)
+
+// String returns the conventional name of the access class.
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case DataRead:
+		return "dread"
+	case DataWrite:
+		return "dwrite"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// DataKinds selects data reads and writes (the paper's "data references").
+var DataKinds = []Kind{DataRead, DataWrite}
+
+// AllKinds selects every access class (the paper's "memory references").
+var AllKinds = []Kind{IFetch, DataRead, DataWrite}
+
+// InstrKinds selects instruction reads only.
+var InstrKinds = []Kind{IFetch}
+
+// ProcID identifies an interned process name.
+type ProcID int32
+
+// ThreadID identifies an interned thread group name.
+type ThreadID int32
+
+// RegionID identifies an interned VMA region name.
+type RegionID int32
+
+// interner maps names to dense int32 IDs, preserving registration order.
+type interner struct {
+	ids   map[string]int32
+	names []string
+}
+
+func newInterner() *interner {
+	return &interner{ids: make(map[string]int32)}
+}
+
+func (in *interner) get(name string) int32 {
+	if id, ok := in.ids[name]; ok {
+		return id
+	}
+	id := int32(len(in.names))
+	in.ids[name] = id
+	in.names = append(in.names, name)
+	return id
+}
+
+func (in *interner) name(id int32) string {
+	if id < 0 || int(id) >= len(in.names) {
+		return fmt.Sprintf("<id %d>", id)
+	}
+	return in.names[id]
+}
+
+// Collector accumulates attributed reference counts. The zero value is not
+// usable; call NewCollector.
+type Collector struct {
+	procs   *interner
+	threads *interner
+	regions *interner
+	counts  map[ckey]uint64
+
+	// Tap, when non-nil, observes every Add after interning. It is the
+	// hook the sampled reference trace (internal/trace) attaches to;
+	// leave nil for zero overhead.
+	Tap func(p ProcID, t ThreadID, r RegionID, k Kind, n uint64)
+}
+
+type ckey struct {
+	proc   ProcID
+	thread ThreadID
+	region RegionID
+	kind   Kind
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		procs:   newInterner(),
+		threads: newInterner(),
+		regions: newInterner(),
+		counts:  make(map[ckey]uint64),
+	}
+}
+
+// Proc interns a process name.
+func (c *Collector) Proc(name string) ProcID { return ProcID(c.procs.get(name)) }
+
+// Thread interns a thread group name.
+func (c *Collector) Thread(name string) ThreadID { return ThreadID(c.threads.get(name)) }
+
+// Region interns a VMA region name.
+func (c *Collector) Region(name string) RegionID { return RegionID(c.regions.get(name)) }
+
+// ProcName resolves a process ID back to its name.
+func (c *Collector) ProcName(id ProcID) string { return c.procs.name(int32(id)) }
+
+// ThreadName resolves a thread ID back to its group name.
+func (c *Collector) ThreadName(id ThreadID) string { return c.threads.name(int32(id)) }
+
+// RegionName resolves a region ID back to its name.
+func (c *Collector) RegionName(id RegionID) string { return c.regions.name(int32(id)) }
+
+// Add records n accesses of class k issued by (proc p, thread t) against
+// region r.
+func (c *Collector) Add(p ProcID, t ThreadID, r RegionID, k Kind, n uint64) {
+	if n == 0 {
+		return
+	}
+	c.counts[ckey{p, t, r, k}] += n
+	if c.Tap != nil {
+		c.Tap(p, t, r, k, n)
+	}
+}
+
+// Total reports the number of accesses across the given classes (all classes
+// when none are given).
+func (c *Collector) Total(kinds ...Kind) uint64 {
+	sel := kindSet(kinds)
+	var sum uint64
+	for k, v := range c.counts {
+		if sel[k.kind] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// ByRegion folds counts of the given classes by region name.
+func (c *Collector) ByRegion(kinds ...Kind) map[string]uint64 {
+	sel := kindSet(kinds)
+	out := make(map[string]uint64)
+	for k, v := range c.counts {
+		if sel[k.kind] {
+			out[c.RegionName(k.region)] += v
+		}
+	}
+	return out
+}
+
+// ByProcess folds counts of the given classes by process name.
+func (c *Collector) ByProcess(kinds ...Kind) map[string]uint64 {
+	sel := kindSet(kinds)
+	out := make(map[string]uint64)
+	for k, v := range c.counts {
+		if sel[k.kind] {
+			out[c.ProcName(k.proc)] += v
+		}
+	}
+	return out
+}
+
+// ByRegionForProcess folds counts of the given classes by region name,
+// restricted to the named process.
+func (c *Collector) ByRegionForProcess(proc string, kinds ...Kind) map[string]uint64 {
+	sel := kindSet(kinds)
+	pid, ok := c.procs.ids[proc]
+	if !ok {
+		return map[string]uint64{}
+	}
+	out := make(map[string]uint64)
+	for k, v := range c.counts {
+		if k.proc == ProcID(pid) && sel[k.kind] {
+			out[c.RegionName(k.region)] += v
+		}
+	}
+	return out
+}
+
+// ByThread folds counts of the given classes by thread group name.
+func (c *Collector) ByThread(kinds ...Kind) map[string]uint64 {
+	sel := kindSet(kinds)
+	out := make(map[string]uint64)
+	for k, v := range c.counts {
+		if sel[k.kind] {
+			out[c.ThreadName(k.thread)] += v
+		}
+	}
+	return out
+}
+
+// RegionCount reports how many distinct regions received at least one access
+// of the given classes. This backs the paper's "code regions"/"data regions"
+// per-application scalar metrics.
+func (c *Collector) RegionCount(kinds ...Kind) int {
+	sel := kindSet(kinds)
+	seen := make(map[RegionID]bool)
+	for k, v := range c.counts {
+		if v > 0 && sel[k.kind] {
+			seen[k.region] = true
+		}
+	}
+	return len(seen)
+}
+
+// ProcessCount reports how many distinct processes issued at least one access.
+func (c *Collector) ProcessCount() int {
+	seen := make(map[ProcID]bool)
+	for k, v := range c.counts {
+		if v > 0 {
+			seen[k.proc] = true
+		}
+	}
+	return len(seen)
+}
+
+// Merge adds every count in other into c. Names are re-interned, so the two
+// collectors need not share ID spaces.
+func (c *Collector) Merge(other *Collector) {
+	for k, v := range other.counts {
+		nk := ckey{
+			proc:   c.Proc(other.ProcName(k.proc)),
+			thread: c.Thread(other.ThreadName(k.thread)),
+			region: c.Region(other.RegionName(k.region)),
+			kind:   k.kind,
+		}
+		c.counts[nk] += v
+	}
+}
+
+// Reset clears all counts but keeps interned names.
+func (c *Collector) Reset() { clear(c.counts) }
+
+func kindSet(kinds []Kind) [numKinds]bool {
+	var sel [numKinds]bool
+	if len(kinds) == 0 {
+		for i := range sel {
+			sel[i] = true
+		}
+		return sel
+	}
+	for _, k := range kinds {
+		sel[k] = true
+	}
+	return sel
+}
+
+// Row is one entry of a Breakdown: a named count with its share of the total.
+type Row struct {
+	Name  string
+	Count uint64
+	Share float64 // fraction of the breakdown total, in [0,1]
+}
+
+// Breakdown is a sorted percentage decomposition of a counter fold.
+type Breakdown struct {
+	Rows  []Row
+	Total uint64
+}
+
+// NewBreakdown sorts the fold m by descending count (name ascending on ties)
+// and computes shares.
+func NewBreakdown(m map[string]uint64) Breakdown {
+	b := Breakdown{Rows: make([]Row, 0, len(m))}
+	for name, n := range m {
+		b.Total += n
+		b.Rows = append(b.Rows, Row{Name: name, Count: n})
+	}
+	sort.Slice(b.Rows, func(i, j int) bool {
+		if b.Rows[i].Count != b.Rows[j].Count {
+			return b.Rows[i].Count > b.Rows[j].Count
+		}
+		return b.Rows[i].Name < b.Rows[j].Name
+	})
+	if b.Total > 0 {
+		for i := range b.Rows {
+			b.Rows[i].Share = float64(b.Rows[i].Count) / float64(b.Total)
+		}
+	}
+	return b
+}
+
+// Share reports the share of the named row, zero when absent.
+func (b Breakdown) Share(name string) float64 {
+	for _, r := range b.Rows {
+		if r.Name == name {
+			return r.Share
+		}
+	}
+	return 0
+}
+
+// Count reports the count of the named row, zero when absent.
+func (b Breakdown) Count(name string) uint64 {
+	for _, r := range b.Rows {
+		if r.Name == name {
+			return r.Count
+		}
+	}
+	return 0
+}
+
+// Fold collapses the breakdown onto the given legend: rows whose name is in
+// legend keep their identity, every other row is folded into a final
+// "other (N items)" row, mirroring the paper's figure legends. Legend entries
+// with zero counts are retained with zero share so series stay aligned across
+// benchmarks.
+func (b Breakdown) Fold(legend []string) Breakdown {
+	inLegend := make(map[string]bool, len(legend))
+	for _, name := range legend {
+		inLegend[name] = true
+	}
+	counts := make(map[string]uint64, len(legend)+1)
+	var other uint64
+	otherItems := 0
+	for _, r := range b.Rows {
+		if inLegend[r.Name] {
+			counts[r.Name] += r.Count
+		} else {
+			other += r.Count
+			otherItems++
+		}
+	}
+	out := Breakdown{Total: b.Total}
+	for _, name := range legend {
+		n := counts[name]
+		row := Row{Name: name, Count: n}
+		if b.Total > 0 {
+			row.Share = float64(n) / float64(b.Total)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	otherRow := Row{Name: fmt.Sprintf("other (%d items)", otherItems), Count: other}
+	if b.Total > 0 {
+		otherRow.Share = float64(other) / float64(b.Total)
+	}
+	out.Rows = append(out.Rows, otherRow)
+	return out
+}
+
+// TopN returns the first n rows (all rows when n exceeds the length).
+func (b Breakdown) TopN(n int) []Row {
+	if n > len(b.Rows) {
+		n = len(b.Rows)
+	}
+	return b.Rows[:n]
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	c := NewCollector()
+	p := c.Proc("benchmark")
+	th := c.Thread("main")
+	r := c.Region("libdvm.so")
+	c.Add(p, th, r, IFetch, 100)
+	c.Add(p, th, r, DataRead, 30)
+	c.Add(p, th, r, DataWrite, 20)
+	if got := c.Total(); got != 150 {
+		t.Fatalf("Total = %d, want 150", got)
+	}
+	if got := c.Total(IFetch); got != 100 {
+		t.Fatalf("Total(IFetch) = %d, want 100", got)
+	}
+	if got := c.Total(DataKinds...); got != 50 {
+		t.Fatalf("Total(data) = %d, want 50", got)
+	}
+}
+
+func TestAddZeroIsNoop(t *testing.T) {
+	c := NewCollector()
+	c.Add(c.Proc("p"), c.Thread("t"), c.Region("r"), IFetch, 0)
+	if c.Total() != 0 || c.RegionCount() != 0 {
+		t.Fatal("zero add left residue")
+	}
+}
+
+func TestInterningStable(t *testing.T) {
+	c := NewCollector()
+	a := c.Region("dalvik-heap")
+	b := c.Region("dalvik-heap")
+	if a != b {
+		t.Fatal("same name interned to different IDs")
+	}
+	if c.RegionName(a) != "dalvik-heap" {
+		t.Fatalf("round trip gave %q", c.RegionName(a))
+	}
+}
+
+func TestFolds(t *testing.T) {
+	c := NewCollector()
+	p1, p2 := c.Proc("benchmark"), c.Proc("system_server")
+	t1, t2 := c.Thread("main"), c.Thread("SurfaceFlinger")
+	r1, r2 := c.Region("libdvm.so"), c.Region("fb0 (frame buffer)")
+	c.Add(p1, t1, r1, IFetch, 70)
+	c.Add(p2, t2, r2, DataWrite, 30)
+
+	byR := c.ByRegion()
+	if byR["libdvm.so"] != 70 || byR["fb0 (frame buffer)"] != 30 {
+		t.Fatalf("ByRegion = %v", byR)
+	}
+	byP := c.ByProcess(IFetch)
+	if byP["benchmark"] != 70 || byP["system_server"] != 0 {
+		t.Fatalf("ByProcess(IFetch) = %v", byP)
+	}
+	byT := c.ByThread(DataWrite)
+	if byT["SurfaceFlinger"] != 30 {
+		t.Fatalf("ByThread = %v", byT)
+	}
+}
+
+func TestRegionAndProcessCounts(t *testing.T) {
+	c := NewCollector()
+	p := c.Proc("p")
+	th := c.Thread("t")
+	c.Add(p, th, c.Region("a"), IFetch, 1)
+	c.Add(p, th, c.Region("b"), DataRead, 1)
+	c.Add(p, th, c.Region("c"), DataWrite, 1)
+	if got := c.RegionCount(IFetch); got != 1 {
+		t.Fatalf("RegionCount(IFetch) = %d, want 1", got)
+	}
+	if got := c.RegionCount(DataKinds...); got != 2 {
+		t.Fatalf("RegionCount(data) = %d, want 2", got)
+	}
+	if got := c.RegionCount(); got != 3 {
+		t.Fatalf("RegionCount() = %d, want 3", got)
+	}
+	if got := c.ProcessCount(); got != 1 {
+		t.Fatalf("ProcessCount = %d, want 1", got)
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a := NewCollector()
+	a.Add(a.Proc("x"), a.Thread("m"), a.Region("r1"), IFetch, 10)
+	b := NewCollector()
+	// Different interning order on purpose.
+	b.Region("zzz")
+	b.Add(b.Proc("x"), b.Thread("m"), b.Region("r1"), IFetch, 5)
+	b.Add(b.Proc("y"), b.Thread("m"), b.Region("r2"), DataRead, 7)
+	a.Merge(b)
+	if got := a.Total(); got != 22 {
+		t.Fatalf("merged total = %d, want 22", got)
+	}
+	if got := a.ByRegion(IFetch)["r1"]; got != 15 {
+		t.Fatalf("merged r1 = %d, want 15", got)
+	}
+	if got := a.ByProcess()["y"]; got != 7 {
+		t.Fatalf("merged y = %d, want 7", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	r := c.Region("r")
+	c.Add(c.Proc("p"), c.Thread("t"), r, IFetch, 5)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("Reset left counts")
+	}
+	if c.Region("r") != r {
+		t.Fatal("Reset dropped interned names")
+	}
+}
+
+func TestBreakdownSortingAndShares(t *testing.T) {
+	b := NewBreakdown(map[string]uint64{"a": 10, "b": 30, "c": 60})
+	if b.Total != 100 {
+		t.Fatalf("Total = %d", b.Total)
+	}
+	if b.Rows[0].Name != "c" || b.Rows[1].Name != "b" || b.Rows[2].Name != "a" {
+		t.Fatalf("order %v", b.Rows)
+	}
+	if b.Share("c") != 0.6 || b.Share("missing") != 0 {
+		t.Fatalf("shares wrong: %v", b.Rows)
+	}
+	if b.Count("b") != 30 {
+		t.Fatal("Count wrong")
+	}
+}
+
+func TestBreakdownTieBreakByName(t *testing.T) {
+	b := NewBreakdown(map[string]uint64{"zeta": 5, "alpha": 5})
+	if b.Rows[0].Name != "alpha" {
+		t.Fatalf("tie not broken by name: %v", b.Rows)
+	}
+}
+
+func TestBreakdownFold(t *testing.T) {
+	b := NewBreakdown(map[string]uint64{
+		"mspace": 50, "libdvm.so": 30, "tiny1": 5, "tiny2": 5, "tiny3": 10,
+	})
+	f := b.Fold([]string{"mspace", "libdvm.so", "absent"})
+	if len(f.Rows) != 4 {
+		t.Fatalf("folded rows = %d, want 4", len(f.Rows))
+	}
+	if f.Rows[0].Name != "mspace" || f.Rows[0].Count != 50 {
+		t.Fatalf("row0 = %+v", f.Rows[0])
+	}
+	if f.Rows[2].Name != "absent" || f.Rows[2].Count != 0 {
+		t.Fatalf("absent legend entry mishandled: %+v", f.Rows[2])
+	}
+	last := f.Rows[3]
+	if !strings.HasPrefix(last.Name, "other (") || last.Count != 20 {
+		t.Fatalf("other row = %+v", last)
+	}
+	if !strings.Contains(last.Name, "3 items") {
+		t.Fatalf("other row should count 3 items: %q", last.Name)
+	}
+	// Folding preserves the total.
+	var sum uint64
+	for _, r := range f.Rows {
+		sum += r.Count
+	}
+	if sum != b.Total {
+		t.Fatalf("fold changed total: %d != %d", sum, b.Total)
+	}
+}
+
+func TestBreakdownTopN(t *testing.T) {
+	b := NewBreakdown(map[string]uint64{"a": 1, "b": 2, "c": 3})
+	if got := len(b.TopN(2)); got != 2 {
+		t.Fatalf("TopN(2) len = %d", got)
+	}
+	if got := len(b.TopN(99)); got != 3 {
+		t.Fatalf("TopN(99) len = %d", got)
+	}
+}
+
+// Property: for any set of adds, Total equals the sum over every fold.
+func TestFoldSumsMatchTotalProperty(t *testing.T) {
+	f := func(counts []uint16) bool {
+		c := NewCollector()
+		procs := []string{"p1", "p2", "p3"}
+		regions := []string{"r1", "r2", "r3", "r4"}
+		var want uint64
+		for i, n := range counts {
+			p := c.Proc(procs[i%len(procs)])
+			th := c.Thread("t")
+			r := c.Region(regions[i%len(regions)])
+			c.Add(p, th, r, Kind(i%3), uint64(n))
+			want += uint64(n)
+		}
+		var byR, byP uint64
+		for _, v := range c.ByRegion() {
+			byR += v
+		}
+		for _, v := range c.ByProcess() {
+			byP += v
+		}
+		return byR == want && byP == want && c.Total() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if IFetch.String() != "ifetch" || DataRead.String() != "dread" || DataWrite.String() != "dwrite" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind should print its number")
+	}
+}

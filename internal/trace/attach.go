@@ -1,0 +1,16 @@
+package trace
+
+import (
+	"agave/internal/kernel"
+	"agave/internal/stats"
+)
+
+// Attach wires the ring to a running machine: every accounting event flows
+// through the collector's Tap with the current simulated timestamp. Detach
+// by setting k.Stats.Tap = nil.
+func Attach(g *Ring, k *kernel.Kernel) {
+	c := k.Stats
+	c.Tap = func(p stats.ProcID, t stats.ThreadID, r stats.RegionID, kind stats.Kind, n uint64) {
+		g.Emit(k.Clock.Now(), c.ProcName(p), c.ThreadName(t), c.RegionName(r), kind, n)
+	}
+}
