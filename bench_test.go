@@ -8,12 +8,14 @@ package agave
 // one pass.
 
 import (
+	"runtime"
 	"testing"
 
 	"agave/internal/core"
 	"agave/internal/report"
 	"agave/internal/sim"
 	"agave/internal/stats"
+	"agave/internal/suite"
 )
 
 // benchConfig is the shortened configuration used by the figure benches.
@@ -132,6 +134,47 @@ func BenchmarkFullSuite(b *testing.B) {
 		b.ReportMetric(t1.Share("SurfaceFlinger")*100, "surfaceflinger_pct")
 	}
 }
+
+// --- suite-engine benches: serial vs sharded execution of one plan ---
+
+// suitePlan is the fixed 14-run matrix (7 benchmarks × 2 seeds) both
+// suite benches execute, so ns/op is directly comparable and the parallel
+// speedup is tracked in the bench trajectory.
+func suitePlan() suite.Plan {
+	return suite.Plan{Benchmarks: benchSubset, Seeds: []uint64{1, 2}}
+}
+
+func runPlanBench(b *testing.B, parallel int) {
+	b.Helper()
+	plan := suitePlan()
+	workers := parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b.ReportMetric(float64(workers), "workers")
+	for i := 0; i < b.N; i++ {
+		outs, err := core.RunPlan(benchConfig(), plan, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ticks float64
+		for _, o := range outs {
+			ticks += float64(o.Ticks)
+		}
+		b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6*float64(b.N), "Mticks/s")
+	}
+}
+
+// BenchmarkSuiteSerial executes the plan on one worker — the historical
+// core.RunSuite behavior.
+func BenchmarkSuiteSerial(b *testing.B) { runPlanBench(b, 1) }
+
+// BenchmarkSuiteParallel executes the identical plan sharded one worker per
+// core (the engine default); results are bit-identical to the serial run
+// (see internal/suite's determinism test), only the wall clock changes. The
+// simulation is CPU-bound, so the speedup on an N-core runner approaches N;
+// on a single-core runner the two benches coincide.
+func BenchmarkSuiteParallel(b *testing.B) { runPlanBench(b, 0) }
 
 // --- ablation benches (design choices called out in DESIGN.md §6) ---
 

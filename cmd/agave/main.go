@@ -6,6 +6,7 @@
 //
 //	agave list                         # benchmark inventory
 //	agave run <benchmark> [flags]      # one benchmark, summary breakdowns
+//	agave suite [flags]                # parallel run matrix (see below)
 //	agave fig1|fig2|fig3|fig4 [flags]  # regenerate a figure (table/csv/bars)
 //	agave table1 [flags]               # regenerate Table I
 //	agave scalars [flags]              # Section-III census metrics
@@ -20,27 +21,47 @@
 //	-bench a,b,c     restrict the benchmark set (default: full suite)
 //	-nojit           disable the trace JIT in the app under test
 //	-dirtyrect       SurfaceFlinger composes only posted surfaces
+//
+// The suite subcommand executes the cross product of benchmarks × seeds ×
+// ablations on a bounded worker pool; results are emitted in plan order and
+// are bit-identical to a serial run of the same plan:
+//
+//	-parallel 0      worker pool size (0 = all cores, 1 = serial)
+//	-seeds 1,2,3     seed axis of the run matrix (default: -seed)
+//	-ablations       add the nojit and dirtyrect ablations to the matrix
+//	-json            emit plan, per-run rows, and summaries as JSON
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"agave/internal/core"
 	"agave/internal/report"
 	"agave/internal/sim"
 	"agave/internal/stats"
+	"agave/internal/suite"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Main is the testable entry point: it runs one CLI invocation against the
+// given streams and returns the process exit code (0 ok, 1 run failure,
+// 2 usage error).
+func Main(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	durationMS := fs.Uint64("duration", 1000, "measured simulated milliseconds")
 	warmupMS := fs.Uint64("warmup", 300, "warmup simulated milliseconds")
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -48,37 +69,49 @@ func main() {
 	benchList := fs.String("bench", "", "comma-separated benchmark subset")
 	noJIT := fs.Bool("nojit", false, "disable the trace JIT")
 	dirtyRect := fs.Bool("dirtyrect", false, "dirty-rect composition")
+	parallel := fs.Int("parallel", 0, "suite worker pool size (0 = all cores)")
+	seedList := fs.String("seeds", "", "comma-separated seed axis of the suite matrix")
+	ablations := fs.Bool("ablations", false, "add nojit and dirtyrect ablations to the matrix")
+	asJSON := fs.Bool("json", false, "emit the suite sweep as JSON")
 
 	switch cmd {
 	case "list":
-		fmt.Println("Agave workloads:")
+		fmt.Fprintln(stdout, "Agave workloads:")
 		for _, n := range core.AgaveNames() {
-			fmt.Printf("  %s\n", n)
+			fmt.Fprintf(stdout, "  %s\n", n)
 		}
-		fmt.Println("SPEC CPU2006 baselines:")
+		fmt.Fprintln(stdout, "SPEC CPU2006 baselines:")
 		for _, n := range core.SPECNames() {
-			fmt.Printf("  %s\n", n)
+			fmt.Fprintf(stdout, "  %s\n", n)
 		}
-		return
-	case "run", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
+		return 0
+	case "run", "suite", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
 		// parsed below
 	default:
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 2
 	}
 
 	var names []string
-	args := os.Args[2:]
+	args = args[1:]
 	if cmd == "run" {
 		if len(args) == 0 {
-			fmt.Fprintln(os.Stderr, "agave run: benchmark name required")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "agave run: benchmark name required")
+			return 2
 		}
 		names = []string{args[0]}
 		args = args[1:]
 	}
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
+	}
+	// Stray positionals are a usage error, not something to silently run
+	// without: `agave suite countdown.main` must not sweep all 25
+	// benchmarks because the user skipped -bench.
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "agave %s: unexpected argument %q (benchmarks are selected with -bench)\n",
+			cmd, fs.Arg(0))
+		return 2
 	}
 	if *benchList != "" {
 		names = strings.Split(*benchList, ",")
@@ -93,44 +126,55 @@ func main() {
 		DirtyRectComposition: *dirtyRect,
 	}
 
+	if cmd == "suite" {
+		// -ablations sweeps base/nojit/dirtyrect as matrix cells; a base
+		// config that already forces one of those flags would make the
+		// cell labels lie (the "base" row would really be nojit).
+		if *ablations && (*noJIT || *dirtyRect) {
+			fmt.Fprintln(stderr, "agave suite: -ablations cannot be combined with -nojit or -dirtyrect (the ablation axis already sweeps them)")
+			return 2
+		}
+		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON)
+	}
+
 	results, err := core.RunSuite(cfg, names...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "agave:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "agave:", err)
+		return 1
 	}
 
 	emit := func(fig report.Figure) {
 		switch *format {
 		case "csv":
-			report.WriteCSV(os.Stdout, fig)
+			report.WriteCSV(stdout, fig)
 		case "bars":
-			report.WriteBars(os.Stdout, fig)
+			report.WriteBars(stdout, fig)
 		default:
-			report.WriteTable(os.Stdout, fig)
+			report.WriteTable(stdout, fig)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	switch cmd {
 	case "run":
 		r := results[0]
-		fmt.Printf("%s: %d total refs, %d processes, %d threads, %d code regions, %d data regions\n",
+		fmt.Fprintf(stdout, "%s: %d total refs, %d processes, %d threads, %d code regions, %d data regions\n",
 			r.Benchmark, r.Stats.Total(), r.Processes, r.Threads, r.CodeRegions, r.DataRegions)
-		fmt.Println("\nTop instruction regions:")
+		fmt.Fprintln(stdout, "\nTop instruction regions:")
 		for _, row := range stats.NewBreakdown(r.Stats.ByRegion(stats.IFetch)).TopN(10) {
-			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+			fmt.Fprintf(stdout, "  %-36s %6.2f%%\n", row.Name, row.Share*100)
 		}
-		fmt.Println("\nTop data regions:")
+		fmt.Fprintln(stdout, "\nTop data regions:")
 		for _, row := range stats.NewBreakdown(r.Stats.ByRegion(stats.DataKinds...)).TopN(10) {
-			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+			fmt.Fprintf(stdout, "  %-36s %6.2f%%\n", row.Name, row.Share*100)
 		}
-		fmt.Println("\nTop processes (all references):")
+		fmt.Fprintln(stdout, "\nTop processes (all references):")
 		for _, row := range stats.NewBreakdown(r.Stats.ByProcess()).TopN(10) {
-			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+			fmt.Fprintf(stdout, "  %-36s %6.2f%%\n", row.Name, row.Share*100)
 		}
-		fmt.Println("\nTop threads (all references):")
+		fmt.Fprintln(stdout, "\nTop threads (all references):")
 		for _, row := range stats.NewBreakdown(r.Stats.ByThread()).TopN(10) {
-			fmt.Printf("  %-36s %6.2f%%\n", row.Name, row.Share*100)
+			fmt.Fprintf(stdout, "  %-36s %6.2f%%\n", row.Name, row.Share*100)
 		}
 	case "fig1":
 		emit(report.Fig1(results))
@@ -141,30 +185,87 @@ func main() {
 	case "fig4":
 		emit(report.Fig4(results))
 	case "table1":
-		report.WriteTable1(os.Stdout, report.Table1(results), 6)
+		report.WriteTable1(stdout, report.Table1(results), 6)
 	case "scalars":
-		report.WriteScalars(os.Stdout, report.Scalars(results))
+		report.WriteScalars(stdout, report.Scalars(results))
 		code, data := report.SuiteRegionCounts(results)
-		fmt.Printf("\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
+		fmt.Fprintf(stdout, "\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
 	case "all":
 		emit(report.Fig1(results))
 		emit(report.Fig2(results))
 		emit(report.Fig3(results))
 		emit(report.Fig4(results))
-		report.WriteTable1(os.Stdout, report.Table1(results), 6)
-		fmt.Println()
-		report.WriteScalars(os.Stdout, report.Scalars(results))
+		report.WriteTable1(stdout, report.Table1(results), 6)
+		fmt.Fprintln(stdout)
+		report.WriteScalars(stdout, report.Scalars(results))
 		code, data := report.SuiteRegionCounts(results)
-		fmt.Printf("\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
+		fmt.Fprintf(stdout, "\nAgave suite-wide: %d instruction regions, %d data regions\n", code, data)
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: agave <command> [flags]
+// suiteCmd executes the suite subcommand: build the run matrix, execute it
+// on the worker pool, and render per-run rows plus cross-seed summaries.
+func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
+	parallel int, seedList string, ablations, asJSON bool) int {
+	if len(names) == 0 {
+		names = core.SuiteNames()
+	}
+	known := make(map[string]bool)
+	for _, n := range core.SuiteNames() {
+		known[n] = true
+	}
+	for _, n := range names {
+		if !known[n] {
+			fmt.Fprintf(stderr, "agave suite: unknown benchmark %q\n", n)
+			return 1
+		}
+	}
+	seeds := []uint64{cfg.Seed}
+	if seedList != "" {
+		seeds = nil
+		for _, f := range strings.Split(seedList, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "agave suite: bad -seeds entry %q: %v\n", f, err)
+				return 2
+			}
+			seeds = append(seeds, v)
+		}
+	}
+	plan := suite.Plan{Benchmarks: names, Seeds: seeds, Ablations: []suite.Ablation{suite.Baseline}}
+	if ablations {
+		plan.Ablations = suite.DefaultAblations
+	}
+	outputs, err := core.RunPlan(cfg, plan, parallel)
+	if err != nil {
+		fmt.Fprintln(stderr, "agave suite:", err)
+		return 1
+	}
+	if asJSON {
+		if err := report.WriteSuiteJSON(stdout, plan, parallel, outputs); err != nil {
+			fmt.Fprintln(stderr, "agave suite:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "suite: %d runs (%d benchmarks × %d seeds × %d ablations)\n\n",
+		plan.Size(), len(plan.Benchmarks), len(plan.Seeds), len(plan.Ablations))
+	report.WriteMatrix(stdout, outputs)
+	if len(plan.Seeds) > 1 || len(plan.Ablations) > 1 {
+		fmt.Fprintln(stdout)
+		report.WriteSummaries(stdout, outputs)
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: agave <command> [flags]
 
 commands:
   list      benchmark inventory
   run       run one benchmark and print its breakdowns
+  suite     run a benchmark × seed × ablation matrix on a worker pool
   fig1      instruction references by VMA region   (paper Fig. 1)
   fig2      data references by VMA region          (paper Fig. 2)
   fig3      instruction references by process      (paper Fig. 3)

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// invoke runs one CLI invocation and returns (exit code, stdout, stderr).
+func invoke(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := Main(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// quick shortens simulated time so CLI tests stay fast.
+var quick = []string{"-duration", "80", "-warmup", "60"}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, errOut := invoke(t)
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, errOut := invoke(t, "frobnicate")
+	if code != 2 || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestRunRequiresBenchmarkName(t *testing.T) {
+	code, _, errOut := invoke(t, "run")
+	if code != 2 || !strings.Contains(errOut, "benchmark name required") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	code, _, _ := invoke(t, "suite", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("bad flag exit code = %d, want 2", code)
+	}
+}
+
+func TestRunUnknownBenchmarkFails(t *testing.T) {
+	code, _, errOut := invoke(t, "run", "no.such.bench")
+	if code != 1 || !strings.Contains(errOut, "no.such.bench") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := invoke(t, "list")
+	if code != 0 {
+		t.Fatalf("list exit code = %d", code)
+	}
+	for _, want := range []string{"frozenbubble.main", "401.bzip2", "SPEC CPU2006"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunOneBenchmark(t *testing.T) {
+	code, out, errOut := invoke(t, append([]string{"run", "countdown.main"}, quick...)...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "countdown.main:") || !strings.Contains(out, "Top instruction regions") {
+		t.Fatalf("run output malformed:\n%s", out)
+	}
+}
+
+func TestSuiteUnknownBenchmark(t *testing.T) {
+	code, _, errOut := invoke(t, "suite", "-bench", "countdown.main,bogus.bench")
+	if code != 1 || !strings.Contains(errOut, `unknown benchmark "bogus.bench"`) {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestSuiteRejectsStrayPositional(t *testing.T) {
+	// `agave suite countdown.main` must not silently sweep all 25
+	// benchmarks; the benchmark set is selected with -bench.
+	code, _, errOut := invoke(t, "suite", "countdown.main")
+	if code != 2 || !strings.Contains(errOut, "unexpected argument") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestSuiteRejectsAblationFlagConflict(t *testing.T) {
+	for _, flag := range []string{"-nojit", "-dirtyrect"} {
+		code, _, errOut := invoke(t, "suite", "-bench", "countdown.main", "-ablations", flag)
+		if code != 2 || !strings.Contains(errOut, "cannot be combined") {
+			t.Fatalf("%s: code=%d stderr=%q", flag, code, errOut)
+		}
+	}
+}
+
+func TestSuiteMalformedSeeds(t *testing.T) {
+	for _, seeds := range []string{"1,x,3", "1,,3", "-4", "1;2"} {
+		code, _, errOut := invoke(t, "suite", "-bench", "countdown.main", "-seeds", seeds)
+		if code != 2 || !strings.Contains(errOut, "bad -seeds entry") {
+			t.Fatalf("seeds=%q: code=%d stderr=%q", seeds, code, errOut)
+		}
+	}
+}
+
+func TestSuiteMatrixRuns(t *testing.T) {
+	args := append([]string{"suite", "-bench", "countdown.main,999.specrand",
+		"-seeds", "1,2", "-parallel", "4"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "suite: 4 runs (2 benchmarks × 2 seeds × 1 ablations)") {
+		t.Fatalf("suite header missing:\n%s", out)
+	}
+	// One matrix row per run, then the cross-seed summary block.
+	if got := strings.Count(out, "countdown.main"); got < 3 { // 2 rows + 1 summary
+		t.Fatalf("countdown.main appears %d times:\n%s", got, out)
+	}
+	if !strings.Contains(out, "total refs mean [min, max]") {
+		t.Fatalf("multi-seed sweep missing summaries:\n%s", out)
+	}
+}
+
+func TestSuiteJSON(t *testing.T) {
+	args := append([]string{"suite", "-bench", "countdown.main,999.specrand",
+		"-seeds", "3,4", "-ablations", "-parallel", "8", "-json"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	var doc struct {
+		Plan struct {
+			Benchmarks []string `json:"benchmarks"`
+			Seeds      []uint64 `json:"seeds"`
+			Ablations  []string `json:"ablations"`
+			Parallel   int      `json:"parallel"`
+		} `json:"plan"`
+		Runs []struct {
+			Benchmark   string  `json:"benchmark"`
+			Seed        uint64  `json:"seed"`
+			Ablation    string  `json:"ablation"`
+			TotalRefs   uint64  `json:"total_refs"`
+			Fingerprint uint64  `json:"fingerprint"`
+			WallMS      float64 `json:"wall_ms"`
+		} `json:"runs"`
+		Summaries []struct {
+			Benchmark string                        `json:"benchmark"`
+			Ablation  string                        `json:"ablation"`
+			Metrics   map[string]map[string]float64 `json:"metrics"`
+		} `json:"summaries"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("suite -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Runs) != 2*2*3 {
+		t.Fatalf("JSON has %d runs, want 12 (2 benchmarks × 2 seeds × 3 ablations)", len(doc.Runs))
+	}
+	if doc.Plan.Parallel != 8 || len(doc.Plan.Ablations) != 3 {
+		t.Fatalf("JSON plan malformed: %+v", doc.Plan)
+	}
+	if len(doc.Summaries) != 2*3 {
+		t.Fatalf("JSON has %d summaries, want 6 (benchmark × ablation cells)", len(doc.Summaries))
+	}
+	for _, r := range doc.Runs {
+		if r.TotalRefs == 0 || r.Fingerprint == 0 {
+			t.Fatalf("run %s/seed=%d/%s carries empty stats", r.Benchmark, r.Seed, r.Ablation)
+		}
+	}
+	for _, s := range doc.Summaries {
+		if s.Metrics["total_refs"]["mean"] <= 0 {
+			t.Fatalf("summary %s/%s missing total_refs agg", s.Benchmark, s.Ablation)
+		}
+	}
+}
+
+// TestSuiteSerialAndParallelSameStdout is the CLI-level determinism check:
+// identical plans at -parallel 1 and -parallel 8 must render byte-identical
+// matrix output (wall-clock columns are excluded from the comparison since
+// real time is not deterministic).
+func TestSuiteSerialAndParallelSameStdout(t *testing.T) {
+	run := func(parallel string) string {
+		args := append([]string{"suite", "-bench",
+			"countdown.main,jetboy.main,999.specrand", "-seeds", "5,6",
+			"-parallel", parallel}, quick...)
+		code, out, errOut := invoke(t, args...)
+		if code != 0 {
+			t.Fatalf("parallel=%s: code=%d stderr=%q", parallel, code, errOut)
+		}
+		return out
+	}
+	stripWall := func(out string) []string {
+		var rows []string
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) == 8 && f[0] != "benchmark" { // matrix row: drop wall ms + Mticks/s
+				rows = append(rows, strings.Join(f[:6], " "))
+			}
+		}
+		return rows
+	}
+	serial, par := stripWall(run("1")), stripWall(run("8"))
+	if len(serial) != 6 {
+		t.Fatalf("expected 6 matrix rows, got %d", len(serial))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("row %d diverged:\nserial:   %s\nparallel: %s", i, serial[i], par[i])
+		}
+	}
+}

@@ -12,4 +12,12 @@
 // runner) and internal/report (figure/table generation); the cmd/agave CLI
 // and examples/ show typical use. See DESIGN.md for the system inventory
 // and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Suite sweeps — the cross product of benchmarks × seeds × ablations — run
+// on the parallel execution engine in internal/suite: runs are sharded
+// across a bounded worker pool (each run boots its own simulated machine),
+// collected in deterministic plan order, and folded into mean/min/max
+// summaries across seeds. Results are bit-identical to a serial run of the
+// same plan; `agave suite -parallel N` and core.RunSuiteParallel expose the
+// engine, and core.RunSuite delegates to it with one worker.
 package agave

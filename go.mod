@@ -1,0 +1,3 @@
+module agave
+
+go 1.24

@@ -38,6 +38,14 @@ type Service struct {
 	Proc    *kernel.Process
 	Handler Handler
 
+	// Owner carries the server object behind the service, for packages
+	// that need to map a looked-up service back to its implementation
+	// (binder itself never touches it). Keeping the back-pointer on the
+	// per-machine service — rather than in a process-global side table —
+	// is what lets the suite engine run machines concurrently without
+	// shared state.
+	Owner any
+
 	queue *kernel.MsgQueue
 	// Calls counts served transactions, for tests.
 	Calls uint64

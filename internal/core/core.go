@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"agave/internal/android"
@@ -18,6 +19,7 @@ import (
 	"agave/internal/sim"
 	"agave/internal/spec"
 	"agave/internal/stats"
+	"agave/internal/suite"
 )
 
 // Config controls a benchmark run.
@@ -152,19 +154,89 @@ func collect(name string, isSpec bool, k *kernel.Kernel, cfg Config, checksum ui
 	}
 }
 
+// forSpec derives the run configuration of one plan spec: the spec's seed
+// replaces the base seed, and ablation overrides are ORed on top of the base
+// flags.
+func (cfg Config) forSpec(s suite.RunSpec) Config {
+	out := cfg
+	out.Seed = s.Seed
+	out.DisableJIT = cfg.DisableJIT || s.Ablation.DisableJIT
+	out.DirtyRectComposition = cfg.DirtyRectComposition || s.Ablation.DirtyRectComposition
+	return out
+}
+
+// NewEngine builds a suite engine that executes core benchmarks: each run
+// boots a fresh simulated machine configured from base plus the spec's seed
+// and ablation. parallel bounds the worker pool (<= 0 means GOMAXPROCS).
+func NewEngine(base Config, parallel int) suite.Engine[*Result] {
+	return suite.Engine[*Result]{
+		Parallel: parallel,
+		Run: func(s suite.RunSpec) (*Result, sim.Ticks, error) {
+			cfg := base.forSpec(s)
+			r, err := Run(s.Benchmark, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			ticks := cfg.Duration
+			if !r.IsSPEC {
+				ticks += cfg.Warmup
+			}
+			return r, ticks, nil
+		},
+	}
+}
+
+// RunPlan executes a full run matrix through the suite engine and returns
+// the outputs in plan order.
+func RunPlan(base Config, p suite.Plan, parallel int) ([]suite.RunOutput[*Result], error) {
+	return NewEngine(base, parallel).Execute(p.Specs())
+}
+
+// SuiteMetrics extracts the scalar metrics the suite summaries aggregate
+// across seeds: total references, census counts, and (SPEC only) the
+// fold-proof checksum.
+func SuiteMetrics(r *Result) map[string]float64 {
+	m := map[string]float64{
+		"total_refs":   float64(r.Stats.Total()),
+		"processes":    float64(r.Processes),
+		"threads":      float64(r.Threads),
+		"code_regions": float64(r.CodeRegions),
+		"data_regions": float64(r.DataRegions),
+	}
+	if r.IsSPEC {
+		m["checksum"] = float64(r.Checksum)
+	}
+	return m
+}
+
 // RunSuite runs the named benchmarks (all of them when names is empty) and
-// returns results in order. Each run uses a fresh simulated machine.
+// returns results in order. Each run uses a fresh simulated machine. It
+// delegates to the suite engine with one worker, so behavior is exactly the
+// historical serial loop; use RunSuiteParallel to fan out.
 func RunSuite(cfg Config, names ...string) ([]*Result, error) {
+	return RunSuiteParallel(cfg, 1, names...)
+}
+
+// RunSuiteParallel runs the named benchmarks (all of them when names is
+// empty) across up to parallel workers and returns results in name order —
+// bit-identical to the serial run, since every run is share-nothing and
+// seeded. parallel <= 0 uses GOMAXPROCS.
+func RunSuiteParallel(cfg Config, parallel int, names ...string) ([]*Result, error) {
 	if len(names) == 0 {
 		names = SuiteNames()
 	}
-	out := make([]*Result, 0, len(names))
-	for _, n := range names {
-		r, err := Run(n, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: running %s: %w", n, err)
+	plan := suite.Plan{Benchmarks: names, Seeds: []uint64{cfg.Seed}}
+	outputs, err := RunPlan(cfg, plan, parallel)
+	if err != nil {
+		var re *suite.RunError
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("core: running %s: %w", re.Spec.Benchmark, re.Err)
 		}
-		out = append(out, r)
+		return nil, err
+	}
+	out := make([]*Result, len(outputs))
+	for i, o := range outputs {
+		out[i] = o.Result
 	}
 	return out, nil
 }

@@ -342,20 +342,19 @@ func Open(ex *kernel.Exec, d *binder.Driver, kind string) (*Player, error) {
 	return &Player{srv: srv, id: id}, nil
 }
 
-// registry maps services back to their servers (binder services carry no
-// payload pointer; the media package keeps its own side table).
-var registry = map[*binder.Service]*Server{}
-
 func serverOf(svc *binder.Service) (*Server, bool) {
-	s, ok := registry[svc]
+	s, ok := svc.Owner.(*Server)
 	return s, ok
 }
 
-// RegisterLookup records the service→server mapping; NewServer callers do
-// not need this unless they use Open (the high-level client API).
+// RegisterLookup records the service→server mapping on the service itself;
+// NewServer callers do not need this unless they use Open (the high-level
+// client API). The mapping lives on the per-machine service — not in a
+// package-global table — so concurrent suite runs share no state and a
+// finished machine is garbage-collectable.
 func RegisterLookup(d *binder.Driver, s *Server) {
 	if svc, ok := d.Lookup("media.player"); ok {
-		registry[svc] = s
+		svc.Owner = s
 	}
 }
 

@@ -2,12 +2,16 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"agave/internal/core"
 	"agave/internal/sim"
 	"agave/internal/stats"
+	"agave/internal/suite"
 )
 
 // fakeResult builds a result with a hand-crafted counter matrix.
@@ -173,5 +177,88 @@ func TestLegendsMatchPaper(t *testing.T) {
 	}
 	if len(Fig1Legend) != 9 || len(Fig2Legend) != 9 || len(Fig3Legend) != 9 || len(Fig4Legend) != 9 {
 		t.Fatal("legends must have 9 named entries + other, as in the paper")
+	}
+}
+
+// fakeOutputs wraps the fake results as suite outputs of a two-benchmark,
+// one-seed plan.
+func fakeOutputs() (suite.Plan, []suite.RunOutput[*core.Result]) {
+	plan := suite.Plan{
+		Benchmarks: []string{"frozenbubble.main", "401.bzip2"},
+		Seeds:      []uint64{1},
+		Ablations:  []suite.Ablation{suite.Baseline},
+	}
+	specs := plan.Specs()
+	rs := twoResults()
+	rs[1].Checksum = 0xdead
+	outs := make([]suite.RunOutput[*core.Result], len(specs))
+	for i, s := range specs {
+		outs[i] = suite.RunOutput[*core.Result]{
+			Spec: s, Result: rs[i], Wall: 5 * time.Millisecond, Ticks: sim.Second,
+		}
+	}
+	return plan, outs
+}
+
+func TestMatrixRows(t *testing.T) {
+	_, outs := fakeOutputs()
+	rows := MatrixRows(outs)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Benchmark != "frozenbubble.main" || r.Seed != 1 || r.Ablation != "base" {
+		t.Fatalf("row identity wrong: %+v", r)
+	}
+	if r.TotalRefs != outs[0].Result.Stats.Total() || r.Fingerprint != outs[0].Result.Stats.Fingerprint() {
+		t.Fatalf("row stats wrong: %+v", r)
+	}
+	if rows[1].Checksum != 0xdead {
+		t.Fatalf("SPEC checksum dropped: %+v", rows[1])
+	}
+	if r.TicksPerSec <= 0 || r.WallMS <= 0 {
+		t.Fatalf("row measurements missing: %+v", r)
+	}
+	// Failed runs are skipped.
+	outs[0].Err = errFake
+	if got := len(MatrixRows(outs)); got != 1 {
+		t.Fatalf("failed run not skipped: %d rows", got)
+	}
+}
+
+var errFake = fmt.Errorf("fake failure")
+
+func TestWriteMatrixAndSummaries(t *testing.T) {
+	_, outs := fakeOutputs()
+	var buf bytes.Buffer
+	WriteMatrix(&buf, outs)
+	out := buf.String()
+	if !strings.Contains(out, "frozenbubble.main") || !strings.Contains(out, "401.bzip2") {
+		t.Fatalf("matrix missing rows:\n%s", out)
+	}
+	buf.Reset()
+	WriteSummaries(&buf, outs)
+	if !strings.Contains(buf.String(), "total refs mean") {
+		t.Fatalf("summaries malformed:\n%s", buf.String())
+	}
+}
+
+func TestWriteSuiteJSONRoundTrip(t *testing.T) {
+	plan, outs := fakeOutputs()
+	var buf bytes.Buffer
+	if err := WriteSuiteJSON(&buf, plan, 4, outs); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 2 {
+		t.Fatalf("JSON runs wrong: %v", doc["runs"])
+	}
+	sums, ok := doc["summaries"].([]any)
+	if !ok || len(sums) != 2 {
+		t.Fatalf("JSON summaries wrong: %v", doc["summaries"])
 	}
 }

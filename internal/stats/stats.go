@@ -256,6 +256,117 @@ func (c *Collector) Merge(other *Collector) {
 // Reset clears all counts but keeps interned names.
 func (c *Collector) Reset() { clear(c.counts) }
 
+// Entry is one cell of the counter matrix in name (not ID) space.
+type Entry struct {
+	Proc   string
+	Thread string
+	Region string
+	Kind   Kind
+	Count  uint64
+}
+
+// Entries returns every non-zero cell of the counter matrix in canonical
+// order (proc, thread, region, kind ascending by name). Two collectors with
+// equal Entries hold bit-identical statistics even if their interned ID
+// spaces differ — this is the comparison the suite determinism tests and the
+// JSON export are built on.
+func (c *Collector) Entries() []Entry {
+	out := make([]Entry, 0, len(c.counts))
+	for k, v := range c.counts {
+		if v == 0 {
+			continue
+		}
+		out = append(out, Entry{
+			Proc:   c.ProcName(k.proc),
+			Thread: c.ThreadName(k.thread),
+			Region: c.RegionName(k.region),
+			Kind:   k.kind,
+			Count:  v,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// Fingerprint folds the canonical entry list into one FNV-1a hash: equal
+// fingerprints mean bit-identical attributed counters. It is independent of
+// interning order, so serial and parallel runs of the same seed compare
+// equal.
+func (c *Collector) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		h = (h ^ 0xff) * prime64 // field separator
+	}
+	mixU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	for _, e := range c.Entries() {
+		mix(e.Proc)
+		mix(e.Thread)
+		mix(e.Region)
+		mixU64(uint64(e.Kind))
+		mixU64(e.Count)
+	}
+	return h
+}
+
+// Agg accumulates the mean/min/max of a sample stream; the zero value is an
+// empty aggregate. It backs the suite engine's repeated-seed summaries.
+type Agg struct {
+	N    int
+	Sum  float64
+	MinV float64
+	MaxV float64
+}
+
+// Observe folds one sample into the aggregate.
+func (a *Agg) Observe(v float64) {
+	if a.N == 0 || v < a.MinV {
+		a.MinV = v
+	}
+	if a.N == 0 || v > a.MaxV {
+		a.MaxV = v
+	}
+	a.N++
+	a.Sum += v
+}
+
+// Mean reports the sample mean (zero when empty).
+func (a Agg) Mean() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// Min reports the smallest sample (zero when empty).
+func (a Agg) Min() float64 { return a.MinV }
+
+// Max reports the largest sample (zero when empty).
+func (a Agg) Max() float64 { return a.MaxV }
+
 func kindSet(kinds []Kind) [numKinds]bool {
 	var sel [numKinds]bool
 	if len(kinds) == 0 {

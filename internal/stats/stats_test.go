@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -219,5 +221,93 @@ func TestKindString(t *testing.T) {
 	}
 	if !strings.Contains(Kind(9).String(), "9") {
 		t.Fatal("unknown kind should print its number")
+	}
+}
+
+func TestEntriesCanonicalAndInterningInvariant(t *testing.T) {
+	// Two collectors fed the same counts in different orders (so their
+	// interned ID spaces differ) must produce identical canonical entries
+	// and fingerprints.
+	type add struct {
+		proc, thread, region string
+		kind                 Kind
+		n                    uint64
+	}
+	adds := []add{
+		{"system_server", "Binder", "libdvm.so", IFetch, 40},
+		{"benchmark", "main", "mspace", IFetch, 100},
+		{"benchmark", "GC", "dalvik-heap", DataWrite, 7},
+		{"mediaserver", "AudioTrackThread", "heap", DataRead, 12},
+	}
+	feed := func(c *Collector, order []int) {
+		for _, i := range order {
+			a := adds[i]
+			c.Add(c.Proc(a.proc), c.Thread(a.thread), c.Region(a.region), a.kind, a.n)
+		}
+	}
+	a, b := NewCollector(), NewCollector()
+	feed(a, []int{0, 1, 2, 3})
+	feed(b, []int{3, 2, 1, 0})
+	ea, eb := a.Entries(), b.Entries()
+	if !reflect.DeepEqual(ea, eb) {
+		t.Fatalf("entries depend on interning order:\n%v\n%v", ea, eb)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprints depend on interning order")
+	}
+	// Canonical order: proc, thread, region, kind ascending.
+	if !sort.SliceIsSorted(ea, func(i, j int) bool {
+		x, y := ea[i], ea[j]
+		if x.Proc != y.Proc {
+			return x.Proc < y.Proc
+		}
+		if x.Thread != y.Thread {
+			return x.Thread < y.Thread
+		}
+		if x.Region != y.Region {
+			return x.Region < y.Region
+		}
+		return x.Kind < y.Kind
+	}) {
+		t.Fatalf("entries not canonically sorted: %v", ea)
+	}
+	// A count change must change the fingerprint.
+	before := a.Fingerprint()
+	a.Add(a.Proc("benchmark"), a.Thread("main"), a.Region("mspace"), IFetch, 1)
+	if a.Fingerprint() == before {
+		t.Fatal("fingerprint blind to count changes")
+	}
+}
+
+func TestFingerprintEmptyAndZeroSuppressed(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("empty collectors disagree")
+	}
+	// Interned-but-unused names must not affect entries or fingerprints.
+	b.Proc("ghost")
+	b.Thread("ghost")
+	b.Region("ghost")
+	if len(b.Entries()) != 0 || a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("interned-but-unused names leak into the canonical form")
+	}
+}
+
+func TestAggMeanMinMax(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 || a.N != 0 {
+		t.Fatal("zero Agg not empty")
+	}
+	for _, v := range []float64{4, -2, 10, 0} {
+		a.Observe(v)
+	}
+	if a.N != 4 || a.Mean() != 3 || a.Min() != -2 || a.Max() != 10 {
+		t.Fatalf("agg = %+v mean %.1f min %.1f max %.1f", a, a.Mean(), a.Min(), a.Max())
+	}
+	// Single negative sample: min == max == mean.
+	var one Agg
+	one.Observe(-5)
+	if one.Min() != -5 || one.Max() != -5 || one.Mean() != -5 {
+		t.Fatalf("single-sample agg wrong: %+v", one)
 	}
 }

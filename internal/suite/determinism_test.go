@@ -1,0 +1,145 @@
+// Determinism regression harness: the same plan executed serially and on an
+// 8-worker pool must produce bit-identical ordered results — per-benchmark
+// attributed counters, census counts, and SPEC checksums. This is the
+// guarantee that makes parallel sweeps trustworthy measurement rather than
+// just fast measurement.
+package suite_test
+
+import (
+	"reflect"
+	"testing"
+
+	"agave/internal/core"
+	"agave/internal/sim"
+	"agave/internal/suite"
+)
+
+// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines with 2 seeds
+// and the full ablation sweep: 5 × 2 × 3 = 30 runs, above the 25-run bar the
+// engine must hold the guarantee at.
+func determinismPlan() suite.Plan {
+	return suite.Plan{
+		Benchmarks: []string{
+			"frozenbubble.main", // Java game (JIT-sensitive)
+			"gallery.mp4.view",  // media stack, mediaserver-dominant
+			"pm.apk.view",       // install workload, dexopt
+			"401.bzip2",         // SPEC baseline
+			"462.libquantum",    // SPEC baseline
+		},
+		Seeds:     []uint64{1, 7},
+		Ablations: suite.DefaultAblations,
+	}
+}
+
+func quickCfg() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Duration = 150 * sim.Millisecond
+	cfg.Warmup = 100 * sim.Millisecond
+	return cfg
+}
+
+func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30-run sweep")
+	}
+	plan := determinismPlan()
+	if plan.Size() < 25 {
+		t.Fatalf("plan has %d runs, determinism bar is >= 25", plan.Size())
+	}
+	cfg := quickCfg()
+	serial, err := core.RunPlan(cfg, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.RunPlan(cfg, plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != plan.Size() || len(parallel) != plan.Size() {
+		t.Fatalf("run counts: serial %d, parallel %d, want %d", len(serial), len(parallel), plan.Size())
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		name := s.Spec.String()
+		if p.Spec != s.Spec {
+			t.Fatalf("run %d: spec order diverged: serial %s, parallel %s", i, s.Spec, p.Spec)
+		}
+		sr, pr := s.Result, p.Result
+		if sr.Benchmark != pr.Benchmark || sr.IsSPEC != pr.IsSPEC {
+			t.Fatalf("%s: identity diverged", name)
+		}
+		if sr.Processes != pr.Processes || sr.Threads != pr.Threads ||
+			sr.CodeRegions != pr.CodeRegions || sr.DataRegions != pr.DataRegions {
+			t.Errorf("%s: census diverged: serial %d/%d/%d/%d, parallel %d/%d/%d/%d",
+				name, sr.Processes, sr.Threads, sr.CodeRegions, sr.DataRegions,
+				pr.Processes, pr.Threads, pr.CodeRegions, pr.DataRegions)
+		}
+		if sr.Checksum != pr.Checksum {
+			t.Errorf("%s: SPEC checksum diverged: %#x vs %#x", name, sr.Checksum, pr.Checksum)
+		}
+		if sf, pf := sr.Stats.Fingerprint(), pr.Stats.Fingerprint(); sf != pf {
+			t.Errorf("%s: counter fingerprint diverged: %#x vs %#x", name, sf, pf)
+		}
+		// Fingerprints hash the canonical entry list; compare the lists
+		// directly too so a hash collision can never mask a divergence.
+		if !reflect.DeepEqual(sr.Stats.Entries(), pr.Stats.Entries()) {
+			t.Errorf("%s: attributed counter matrices diverged", name)
+		}
+	}
+}
+
+// TestRunSuiteParallelMatchesRunSuite pins the public-API contract: the
+// parallel entry point returns the same results slice as the historical
+// serial one.
+func TestRunSuiteParallelMatchesRunSuite(t *testing.T) {
+	names := []string{"countdown.main", "aard.main", "429.mcf"}
+	cfg := quickCfg()
+	serial, err := core.RunSuite(cfg, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := core.RunSuiteParallel(cfg, 4, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("lengths diverged: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Benchmark != par[i].Benchmark {
+			t.Fatalf("order diverged at %d: %s vs %s", i, serial[i].Benchmark, par[i].Benchmark)
+		}
+		if serial[i].Stats.Fingerprint() != par[i].Stats.Fingerprint() {
+			t.Fatalf("%s: stats diverged between RunSuite and RunSuiteParallel", serial[i].Benchmark)
+		}
+	}
+}
+
+// TestAblationSpecsChangeBehavior guards against the matrix silently running
+// the baseline config for every cell: the nojit ablation must actually
+// change the counter matrix of a JIT-heavy workload.
+func TestAblationSpecsChangeBehavior(t *testing.T) {
+	plan := suite.Plan{
+		Benchmarks: []string{"frozenbubble.main"},
+		Seeds:      []uint64{1},
+		Ablations:  []suite.Ablation{suite.Baseline, {Name: "nojit", DisableJIT: true}},
+	}
+	outs, err := core.RunPlan(quickCfg(), plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("got %d outputs, want 2", len(outs))
+	}
+	if outs[0].Result.Stats.Fingerprint() == outs[1].Result.Stats.Fingerprint() {
+		t.Fatal("nojit ablation produced bit-identical stats to baseline")
+	}
+}
+
+func TestRunPlanUnknownBenchmark(t *testing.T) {
+	plan := suite.Plan{Benchmarks: []string{"frozenbubble.main", "no.such.bench"}}
+	_, err := core.RunPlan(quickCfg(), plan, 4)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
