@@ -176,6 +176,26 @@ func BenchmarkSuiteSerial(b *testing.B) { runPlanBench(b, 1) }
 // on a single-core runner the two benches coincide.
 func BenchmarkSuiteParallel(b *testing.B) { runPlanBench(b, 0) }
 
+// BenchmarkScenario runs the scripted multi-app sessions end to end: the
+// lifecycle-heavy pair (4 concurrently-live apps; kill/relaunch churn) plus
+// the media handoff scenario. Reported metrics: total attributed references
+// and the peak process census, so the bench trajectory tracks both engine
+// speed and session shape.
+func BenchmarkScenario(b *testing.B) {
+	for _, name := range []string{"social-burst", "app-churn", "media-marathon"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario(name, benchConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Stats.Total()), "total_refs")
+				b.ReportMetric(float64(r.Processes), "processes")
+			}
+		})
+	}
+}
+
 // --- ablation benches (design choices called out in DESIGN.md §6) ---
 
 // BenchmarkAblationJIT contrasts trace-JIT on/off: the share of instruction

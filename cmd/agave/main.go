@@ -7,6 +7,8 @@
 //	agave list                         # benchmark inventory
 //	agave run <benchmark> [flags]      # one benchmark, summary breakdowns
 //	agave suite [flags]                # parallel run matrix (see below)
+//	agave scenario -list               # bundled multi-app scenario library
+//	agave scenario <name...> [flags]   # scripted multi-app sessions
 //	agave fig1|fig2|fig3|fig4 [flags]  # regenerate a figure (table/csv/bars)
 //	agave table1 [flags]               # regenerate Table I
 //	agave scalars [flags]              # Section-III census metrics
@@ -29,7 +31,14 @@
 //	-parallel 0      worker pool size (0 = all cores, 1 = serial)
 //	-seeds 1,2,3     seed axis of the run matrix (default: -seed)
 //	-ablations       add the nojit and dirtyrect ablations to the matrix
+//	-scenarios a,b   add bundled scenarios to the matrix as a plan axis
 //	-json            emit plan, per-run rows, and summaries as JSON
+//
+// The scenario subcommand runs scripted multi-app sessions: apps launch,
+// switch, background, and die on a deterministic timeline while every
+// reference is attributed per process. Scenario reports carry no wall-clock
+// columns, so the same plan and seed emit byte-identical bytes at any
+// -parallel value.
 package main
 
 import (
@@ -42,6 +51,7 @@ import (
 
 	"agave/internal/core"
 	"agave/internal/report"
+	"agave/internal/scenario"
 	"agave/internal/sim"
 	"agave/internal/stats"
 	"agave/internal/suite"
@@ -72,7 +82,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "suite worker pool size (0 = all cores)")
 	seedList := fs.String("seeds", "", "comma-separated seed axis of the suite matrix")
 	ablations := fs.Bool("ablations", false, "add nojit and dirtyrect ablations to the matrix")
+	scenarioList := fs.String("scenarios", "", "comma-separated scenarios to add to the suite matrix")
 	asJSON := fs.Bool("json", false, "emit the suite sweep as JSON")
+	listScenarios := fs.Bool("list", false, "list the bundled scenario library")
 
 	switch cmd {
 	case "list":
@@ -85,7 +97,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %s\n", n)
 		}
 		return 0
-	case "run", "suite", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
+	case "run", "suite", "scenario", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
 		// parsed below
 	default:
 		usage(stderr)
@@ -102,18 +114,44 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		names = []string{args[0]}
 		args = args[1:]
 	}
+	if cmd == "scenario" {
+		// Scenario names are positional: `agave scenario commute drive`.
+		for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+			names = append(names, args[0])
+			args = args[1:]
+		}
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	// Stray positionals are a usage error, not something to silently run
+	// The scenario subcommand also accepts names interleaved with flags
+	// (`agave scenario -parallel 8 commute -json`): flag.Parse stops at
+	// the first positional, so keep alternating between collecting
+	// leading names and re-parsing the remainder. Everywhere else stray
+	// positionals are a usage error, not something to silently run
 	// without: `agave suite countdown.main` must not sweep all 25
 	// benchmarks because the user skipped -bench.
-	if fs.NArg() > 0 {
+	if cmd == "scenario" {
+		for rest := fs.Args(); len(rest) > 0; rest = fs.Args() {
+			// A bare "-" is a positional to the flag package too;
+			// re-parsing it would never make progress.
+			if strings.HasPrefix(rest[0], "-") && rest[0] != "-" {
+				if err := fs.Parse(rest); err != nil {
+					return 2
+				}
+				continue
+			}
+			names = append(names, rest[0])
+			if err := fs.Parse(rest[1:]); err != nil {
+				return 2
+			}
+		}
+	} else if fs.NArg() > 0 {
 		fmt.Fprintf(stderr, "agave %s: unexpected argument %q (benchmarks are selected with -bench)\n",
 			cmd, fs.Arg(0))
 		return 2
 	}
-	if *benchList != "" {
+	if *benchList != "" && cmd != "scenario" {
 		names = strings.Split(*benchList, ",")
 	}
 
@@ -126,15 +164,20 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		DirtyRectComposition: *dirtyRect,
 	}
 
-	if cmd == "suite" {
+	if cmd == "suite" || cmd == "scenario" {
 		// -ablations sweeps base/nojit/dirtyrect as matrix cells; a base
 		// config that already forces one of those flags would make the
 		// cell labels lie (the "base" row would really be nojit).
 		if *ablations && (*noJIT || *dirtyRect) {
-			fmt.Fprintln(stderr, "agave suite: -ablations cannot be combined with -nojit or -dirtyrect (the ablation axis already sweeps them)")
+			fmt.Fprintf(stderr, "agave %s: -ablations cannot be combined with -nojit or -dirtyrect (the ablation axis already sweeps them)\n", cmd)
 			return 2
 		}
-		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON)
+	}
+	if cmd == "scenario" {
+		return scenarioCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON, *listScenarios)
+	}
+	if cmd == "suite" {
+		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *scenarioList, *asJSON)
 	}
 
 	results, err := core.RunSuite(cfg, names...)
@@ -204,10 +247,28 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// parseSeeds resolves the -seeds axis, falling back to the single -seed.
+func parseSeeds(stderr io.Writer, cmd string, base uint64, seedList string) ([]uint64, bool) {
+	seeds := []uint64{base}
+	if seedList == "" {
+		return seeds, true
+	}
+	seeds = nil
+	for _, f := range strings.Split(seedList, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			fmt.Fprintf(stderr, "agave %s: bad -seeds entry %q: %v\n", cmd, f, err)
+			return nil, false
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, true
+}
+
 // suiteCmd executes the suite subcommand: build the run matrix, execute it
 // on the worker pool, and render per-run rows plus cross-seed summaries.
 func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
-	parallel int, seedList string, ablations, asJSON bool) int {
+	parallel int, seedList string, ablations bool, scenarioList string, asJSON bool) int {
 	if len(names) == 0 {
 		names = core.SuiteNames()
 	}
@@ -221,19 +282,27 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			return 1
 		}
 	}
-	seeds := []uint64{cfg.Seed}
-	if seedList != "" {
-		seeds = nil
-		for _, f := range strings.Split(seedList, ",") {
-			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
-			if err != nil {
-				fmt.Fprintf(stderr, "agave suite: bad -seeds entry %q: %v\n", f, err)
-				return 2
+	var scenarios []string
+	if scenarioList != "" {
+		knownSc := make(map[string]bool)
+		for _, n := range core.ScenarioNames() {
+			knownSc[n] = true
+		}
+		for _, n := range strings.Split(scenarioList, ",") {
+			n = strings.TrimSpace(n)
+			if !knownSc[n] {
+				fmt.Fprintf(stderr, "agave suite: unknown scenario %q\n", n)
+				return 1
 			}
-			seeds = append(seeds, v)
+			scenarios = append(scenarios, n)
 		}
 	}
-	plan := suite.Plan{Benchmarks: names, Seeds: seeds, Ablations: []suite.Ablation{suite.Baseline}}
+	seeds, ok := parseSeeds(stderr, "suite", cfg.Seed, seedList)
+	if !ok {
+		return 2
+	}
+	plan := suite.Plan{Benchmarks: names, Scenarios: scenarios, Seeds: seeds,
+		Ablations: []suite.Ablation{suite.Baseline}}
 	if ablations {
 		plan.Ablations = suite.DefaultAblations
 	}
@@ -249,13 +318,64 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 		}
 		return 0
 	}
-	fmt.Fprintf(stdout, "suite: %d runs (%d benchmarks × %d seeds × %d ablations)\n\n",
-		plan.Size(), len(plan.Benchmarks), len(plan.Seeds), len(plan.Ablations))
+	units := fmt.Sprintf("%d benchmarks", len(plan.Benchmarks))
+	if len(plan.Scenarios) > 0 {
+		units += fmt.Sprintf(" + %d scenarios", len(plan.Scenarios))
+	}
+	fmt.Fprintf(stdout, "suite: %d runs (%s × %d seeds × %d ablations)\n\n",
+		plan.Size(), units, len(plan.Seeds), len(plan.Ablations))
 	report.WriteMatrix(stdout, outputs)
 	if len(plan.Seeds) > 1 || len(plan.Ablations) > 1 {
 		fmt.Fprintln(stdout)
 		report.WriteSummaries(stdout, outputs)
 	}
+	return 0
+}
+
+// scenarioCmd executes the scenario subcommand: list the bundled library,
+// or run the named scripted sessions through the suite engine and render
+// the wall-clock-free scenario matrix (or JSON document). Output bytes
+// depend only on the plan and seeds — never on -parallel.
+func scenarioCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
+	parallel int, seedList string, ablations, asJSON, list bool) int {
+	if list {
+		report.WriteScenarioList(stdout, scenario.Library())
+		return 0
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "agave scenario: scenario name required (or -list)")
+		return 2
+	}
+	for _, n := range names {
+		if _, err := scenario.ByName(n); err != nil {
+			fmt.Fprintf(stderr, "agave scenario: %v\n", err)
+			return 1
+		}
+	}
+	seeds, ok := parseSeeds(stderr, "scenario", cfg.Seed, seedList)
+	if !ok {
+		return 2
+	}
+	plan := suite.Plan{Scenarios: names, Seeds: seeds,
+		Ablations: []suite.Ablation{suite.Baseline}}
+	if ablations {
+		plan.Ablations = suite.DefaultAblations
+	}
+	outputs, err := core.RunPlan(cfg, plan, parallel)
+	if err != nil {
+		fmt.Fprintln(stderr, "agave scenario:", err)
+		return 1
+	}
+	if asJSON {
+		if err := report.WriteScenarioJSON(stdout, plan, outputs); err != nil {
+			fmt.Fprintln(stderr, "agave scenario:", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(stdout, "scenario: %d runs (%d scenarios × %d seeds × %d ablations)\n\n",
+		plan.Size(), len(plan.Scenarios), len(plan.Seeds), len(plan.Ablations))
+	report.WriteScenarioMatrix(stdout, outputs)
 	return 0
 }
 
@@ -266,6 +386,7 @@ commands:
   list      benchmark inventory
   run       run one benchmark and print its breakdowns
   suite     run a benchmark × seed × ablation matrix on a worker pool
+  scenario  run scripted multi-app sessions (-list for the library)
   fig1      instruction references by VMA region   (paper Fig. 1)
   fig2      data references by VMA region          (paper Fig. 2)
   fig3      instruction references by process      (paper Fig. 3)

@@ -215,3 +215,140 @@ func TestSuiteSerialAndParallelSameStdout(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioList(t *testing.T) {
+	code, out, errOut := invoke(t, "scenario", "-list")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 6 { // header + >= 5 scenarios
+		t.Fatalf("scenario -list shows %d lines, want >= 6:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"commute", "social-burst", "description"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario -list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScenarioRequiresName(t *testing.T) {
+	code, _, errOut := invoke(t, "scenario")
+	if code != 2 || !strings.Contains(errOut, "scenario name required") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	code, _, errOut := invoke(t, "scenario", "no-such-session")
+	if code != 1 || !strings.Contains(errOut, "no-such-session") {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestScenarioParallelByteIdentical is the acceptance bar: the same
+// scenario plan at -parallel 1 and -parallel 8 must emit byte-identical
+// stdout — scenario reports carry no wall-clock columns at all.
+func TestScenarioParallelByteIdentical(t *testing.T) {
+	run := func(parallel string) string {
+		args := append([]string{"scenario", "commute", "app-churn",
+			"-seeds", "1,2", "-parallel", parallel}, quick...)
+		code, out, errOut := invoke(t, args...)
+		if code != 0 {
+			t.Fatalf("parallel=%s: code=%d stderr=%q", parallel, code, errOut)
+		}
+		return out
+	}
+	serial, par := run("1"), run("8")
+	if serial != par {
+		t.Fatalf("scenario stdout diverged between -parallel 1 and 8:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+	if !strings.Contains(serial, "commute") || !strings.Contains(serial, "app-churn") {
+		t.Fatalf("scenario matrix missing rows:\n%s", serial)
+	}
+}
+
+// TestScenarioNamesInterleaveWithFlags pins the argument grammar: scenario
+// names may appear before, between, and after flags, because flag.Parse
+// stops at the first positional and the CLI resumes parsing after it.
+func TestScenarioNamesInterleaveWithFlags(t *testing.T) {
+	args := append([]string{"scenario", "-parallel", "2", "commute", "-seeds", "1"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "commute") {
+		t.Fatalf("interleaved invocation missed the scenario:\n%s", out)
+	}
+	// Flags after the name still take effect (JSON mode here).
+	code, out, errOut = invoke(t, append([]string{"scenario", "commute", "-json"}, quick...)...)
+	if code != 0 || !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Fatalf("trailing -json ignored: code=%d stderr=%q out=%q", code, errOut, out[:min(80, len(out))])
+	}
+}
+
+func TestScenarioJSON(t *testing.T) {
+	args := append([]string{"scenario", "social-burst", "-json", "-parallel", "4"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	var doc struct {
+		Plan struct {
+			Scenarios []string `json:"scenarios"`
+			Seeds     []uint64 `json:"seeds"`
+			Ablations []string `json:"ablations"`
+		} `json:"plan"`
+		Runs []struct {
+			Scenario    string `json:"scenario"`
+			MaxLiveApps int    `json:"max_live_apps"`
+			TotalRefs   uint64 `json:"total_refs"`
+			Fingerprint uint64 `json:"fingerprint"`
+			Apps        []struct {
+				Name  string  `json:"name"`
+				Refs  uint64  `json:"refs"`
+				Share float64 `json:"share"`
+			} `json:"apps"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("scenario -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Scenario != "social-burst" {
+		t.Fatalf("JSON runs malformed: %+v", doc.Runs)
+	}
+	r := doc.Runs[0]
+	if r.MaxLiveApps < 3 || len(r.Apps) != 4 {
+		t.Fatalf("social-burst JSON: max_live_apps=%d apps=%d", r.MaxLiveApps, len(r.Apps))
+	}
+	for _, a := range r.Apps {
+		if a.Refs == 0 {
+			t.Fatalf("app %q attributed no references", a.Name)
+		}
+	}
+	if strings.Contains(out, "wall_ms") {
+		t.Fatal("scenario JSON leaks wall-clock fields")
+	}
+}
+
+func TestSuiteWithScenarioAxis(t *testing.T) {
+	args := append([]string{"suite", "-bench", "countdown.main",
+		"-scenarios", "app-churn", "-parallel", "2"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "suite: 2 runs (1 benchmarks + 1 scenarios × 1 seeds × 1 ablations)") {
+		t.Fatalf("suite header missing scenario axis:\n%s", out)
+	}
+	if !strings.Contains(out, "scenario:app-churn") {
+		t.Fatalf("suite matrix missing prefixed scenario row:\n%s", out)
+	}
+}
+
+func TestSuiteUnknownScenario(t *testing.T) {
+	code, _, errOut := invoke(t, "suite", "-bench", "countdown.main", "-scenarios", "bogus")
+	if code != 1 || !strings.Contains(errOut, `unknown scenario "bogus"`) {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: agave
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSuiteSerial-8        	       1	1200000000 ns/op	       14.00 workers	     900.5 Mticks/s	  524288 B/op	    1024 allocs/op
+BenchmarkSuiteParallel-8      	       1	 300000000 ns/op	        8.000 workers	    3600.0 Mticks/s	  524288 B/op	    1024 allocs/op
+BenchmarkScenario/social-burst-8 	       1	 236000000 ns/op	        26.00 processes	 143067000 total_refs
+PASS
+ok  	agave	2.101s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "SuiteSerial" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix not stripped?)", b.Name)
+	}
+	if b.NsPerOp != 1.2e9 || b.BytesPerOp != 524288 || b.AllocsOp != 1024 {
+		t.Fatalf("SuiteSerial parsed wrong: %+v", b)
+	}
+	if b.Metrics["Mticks/s"] != 900.5 {
+		t.Fatalf("custom metric lost: %+v", b.Metrics)
+	}
+	sub := snap.Benchmarks[2]
+	if sub.Name != "Scenario/social-burst" || sub.Metrics["total_refs"] != 143067000 {
+		t.Fatalf("sub-benchmark parsed wrong: %+v", sub)
+	}
+}
+
+func TestParseBenchAveragesRepeatedCounts(t *testing.T) {
+	input := "BenchmarkX-4 1 100 ns/op\nBenchmarkX-4 1 300 ns/op\n"
+	snap, err := parseBench(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 1 || math.Abs(snap.Benchmarks[0].NsPerOp-200) > 1e-9 {
+		t.Fatalf("repeated counts not averaged: %+v", snap.Benchmarks)
+	}
+	if snap.Benchmarks[0].Iterations != 1 {
+		t.Fatalf("iterations summed across counts, not averaged: %+v", snap.Benchmarks[0])
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok agave 1s\n")); err == nil {
+		t.Fatal("empty bench input accepted")
+	}
+}
+
+func TestCompareFlagsOnlyRegressions(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "C", NsPerOp: 1000},
+		{Name: "Gone", NsPerOp: 1000},
+	}}
+	cur := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "A", NsPerOp: 1240}, // +24%: inside a 25% gate
+		{Name: "B", NsPerOp: 1300}, // +30%: regression
+		{Name: "C", NsPerOp: 700},  // improvement
+		{Name: "New", NsPerOp: 50},
+	}}
+	deltas, newOnly, baseOnly := compare(base, cur, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(deltas))
+	}
+	regressed := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			regressed++
+			if d.Name != "B" {
+				t.Fatalf("unexpected regression: %+v", d)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Fatalf("flagged %d regressions, want 1", regressed)
+	}
+	if len(newOnly) != 1 || newOnly[0] != "New" {
+		t.Fatalf("newOnly = %v", newOnly)
+	}
+	if len(baseOnly) != 1 || baseOnly[0] != "Gone" {
+		t.Fatalf("baseOnly = %v", baseOnly)
+	}
+}
+
+// invoke runs one benchdiff invocation against an input string.
+func invoke(t *testing.T, input string, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := Main(args, strings.NewReader(input), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestMainWriteThenCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseFile := filepath.Join(dir, "BENCH_baseline.json")
+	curFile := filepath.Join(dir, "BENCH_abc1234.json")
+
+	code, _, errOut := invoke(t, sampleOutput, "-write", baseFile)
+	if code != 0 {
+		t.Fatalf("write: code=%d stderr=%q", code, errOut)
+	}
+	var snap Snapshot
+	data, err := os.ReadFile(baseFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("written snapshot is not valid JSON: %v", err)
+	}
+
+	// The identical run compares clean and writes the artifact snapshot.
+	code, out, errOut := invoke(t, sampleOutput, "-write", curFile, "-baseline", baseFile)
+	if code != 0 {
+		t.Fatalf("identical run flagged: code=%d stderr=%q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "within 25% of baseline") {
+		t.Fatalf("missing pass summary:\n%s", out)
+	}
+	if _, err := os.Stat(curFile); err != nil {
+		t.Fatalf("artifact snapshot not written: %v", err)
+	}
+
+	// A 10x slowdown of one benchmark fails the gate.
+	slow := strings.Replace(sampleOutput, " 300000000 ns/op", "3000000000 ns/op", 1)
+	code, out, errOut = invoke(t, slow, "-baseline", baseFile)
+	if code != 1 {
+		t.Fatalf("regression not flagged: code=%d\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(errOut, "regressed more than 25%") {
+		t.Fatalf("regression report malformed:\nstdout=%s\nstderr=%s", out, errOut)
+	}
+
+	// A custom threshold loosens the gate.
+	code, _, _ = invoke(t, slow, "-baseline", baseFile, "-threshold", "10")
+	if code != 0 {
+		t.Fatalf("threshold=10 still flagged: code=%d", code)
+	}
+}
+
+func TestMainUsageErrors(t *testing.T) {
+	if code, _, _ := invoke(t, sampleOutput); code != 2 {
+		t.Fatal("no-op invocation accepted")
+	}
+	if code, _, _ := invoke(t, sampleOutput, "-baseline", "/no/such/file.json"); code != 1 {
+		t.Fatal("missing baseline not a comparison failure")
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -38,6 +39,8 @@ done:
 `
 
 func main() {
+	durationMS := flag.Uint64("duration", 1000, "simulated milliseconds to run")
+	flag.Parse()
 	k := kernel.New(kernel.Config{Quantum: sim.Millisecond, Seed: 7})
 	defer k.Shutdown()
 	sys := android.Boot(k)
@@ -74,7 +77,7 @@ func main() {
 		})
 	})
 
-	k.Run(1 * sim.Second)
+	k.Run(sim.Ticks(*durationMS) * sim.Millisecond)
 
 	fmt.Println("custom workload ran; reference profile:")
 	fmt.Println("  instruction regions:")

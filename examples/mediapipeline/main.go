@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -21,8 +22,10 @@ import (
 )
 
 func main() {
+	durationMS := flag.Uint64("duration", 800, "measured simulated milliseconds per run")
+	flag.Parse()
 	cfg := core.DefaultConfig()
-	cfg.Duration = 800 * sim.Millisecond
+	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond
 
 	fmt.Printf("%-22s %14s %14s %14s\n", "workload", "benchmark", "mediaserver", "system_server")
 	for _, name := range []string{"gallery.mp4.view", "vlc.mp4.view", "music.mp3.view.bkg"} {

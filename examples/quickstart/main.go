@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,8 +14,10 @@ import (
 )
 
 func main() {
+	durationMS := flag.Uint64("duration", 600, "measured simulated milliseconds")
+	flag.Parse()
 	cfg := core.DefaultConfig()
-	cfg.Duration = 600 * sim.Millisecond // keep the demo snappy
+	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond // default keeps the demo snappy
 
 	for _, name := range []string{"frozenbubble.main", "401.bzip2"} {
 		res, err := core.Run(name, cfg)

@@ -1,0 +1,50 @@
+// Scenario: run a scripted multi-app session — the suite's answer to the
+// single-app-in-the-foreground blind spot. The commute session launches
+// music, then navigation, and flips between them; while the map owns the
+// screen the music app's main thread is parked in its looper, yet the MP3
+// keeps decoding inside mediaserver. The per-process attribution below
+// makes that split visible: the paused app nearly vanishes, the service
+// process does not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"agave/internal/scenario"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+func main() {
+	durationMS := flag.Uint64("duration", 1000, "measured simulated milliseconds")
+	flag.Parse()
+
+	sc, err := scenario.ByName("commute")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
+	fmt.Println("timeline (thousandths of the measured interval):")
+	for _, ev := range sc.Timeline {
+		fmt.Printf("  %s\n", ev)
+	}
+
+	res, err := scenario.Run(sc, scenario.Config{
+		Seed:     1,
+		Duration: sim.Ticks(*durationMS) * sim.Millisecond,
+		Warmup:   300 * sim.Millisecond,
+		Quantum:  sim.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d events over %d ms: %d memory references, %d processes (%d live at end), %d threads\n",
+		res.Events, *durationMS, res.Stats.Total(), res.Processes, res.LiveProcesses, res.Threads)
+	fmt.Println("\nper-process attribution (top of the fold):")
+	for _, row := range stats.NewBreakdown(res.Stats.ByProcess()).TopN(8) {
+		fmt.Printf("  %-22s %6.2f%%\n", row.Name, row.Share*100)
+	}
+}

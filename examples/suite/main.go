@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -15,8 +16,10 @@ import (
 )
 
 func main() {
+	durationMS := flag.Uint64("duration", 300, "measured simulated milliseconds per run")
+	flag.Parse()
 	cfg := core.DefaultConfig()
-	cfg.Duration = 300 * sim.Millisecond // keep the demo snappy
+	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond // default keeps the demo snappy
 	cfg.Warmup = 200 * sim.Millisecond
 
 	// 3 benchmarks × 2 seeds × 2 ablations = 12 runs.

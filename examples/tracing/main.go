@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"agave/internal/android"
@@ -15,6 +16,8 @@ import (
 )
 
 func main() {
+	durationMS := flag.Uint64("duration", 500, "simulated milliseconds to run")
+	flag.Parse()
 	k := kernel.New(kernel.Config{Quantum: sim.Millisecond, Seed: 3})
 	defer k.Shutdown()
 
@@ -28,7 +31,7 @@ func main() {
 		panic(err)
 	}
 	apps.Launch(sys, w)
-	k.Run(500 * sim.Millisecond)
+	k.Run(sim.Ticks(*durationMS) * sim.Millisecond)
 
 	fmt.Printf("captured %d records (%d dropped by sampling)\n", ring.Len(), ring.Dropped)
 

@@ -60,6 +60,16 @@ type App struct {
 	Canvas  *gfx.Canvas
 	Tasks   *AsyncPool
 
+	// Looper is the main thread's message queue. Lifecycle transitions
+	// (pause/resume) arrive here and are performed by the main thread at
+	// its next PausePoint, as through the real ActivityThread handler.
+	Looper *Looper
+	// HelperProcs are the app_process companions forked for cfg.Helpers;
+	// KillApp terminates them with the app.
+	HelperProcs []*kernel.Process
+	// Dead marks an app torn down by KillApp.
+	Dead bool
+
 	// Resources is the app's mapped .apk (resource loads read it),
 	// Database its sqlite file, Assets the shared system asset mappings
 	// (framework-res, fonts, ICU data). Each is a named region in the
@@ -71,6 +81,7 @@ type App struct {
 	mainBody  func(ex *kernel.Exec, a *App)
 	workerSeq int
 	anon      map[string]*mem.VMA
+	paused    bool
 }
 
 // sharedAssets are system-wide files every app maps; the names are shared
@@ -128,6 +139,7 @@ func (sys *System) NewApp(cfg AppConfig) *App {
 		a.Assets = append(a.Assets, v)
 	}
 	a.VM = dalvik.ForkVM(sys.ZygoteVM, a.Proc, true)
+	a.Looper = NewLooper(k, cfg.Process+"."+cfg.Label)
 	if cfg.NoJIT {
 		a.VM.JITEnabled = false
 	}
@@ -240,6 +252,7 @@ func (a *App) SpawnWorker(body func(ex *kernel.Exec, a *App)) *kernel.Thread {
 // modest framework bytecode work on the app's behalf.
 func (sys *System) spawnHelper(a *App, idx int) {
 	p := sys.K.Fork(sys.Zygote, "app_process")
+	a.HelperProcs = append(a.HelperProcs, p)
 	vm := dalvik.ForkVM(sys.ZygoteVM, p, false)
 	sys.K.SpawnThread(p, "main", "main", func(ex *kernel.Exec) {
 		ex.PushCode(p.Layout.Text)
@@ -265,6 +278,7 @@ func (a *App) FrameLoop(ex *kernel.Exec, fps int, frame func(ex *kernel.Exec, n 
 	next := ex.Now() + period
 	var n uint64
 	for {
+		a.PausePoint(ex)
 		frame(ex, n)
 		n++
 		if a.Surface != nil {

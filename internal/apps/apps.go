@@ -96,3 +96,26 @@ func Launch(sys *android.System, w *Workload) *android.App {
 	a.Start(w.Main)
 	return a
 }
+
+// LaunchAs builds an application process for w under an explicit process
+// name — the multi-app entry point the scenario engine uses, so each
+// concurrent app attributes its references to its own process exactly the
+// way a single-app run attributes to "benchmark". The name also labels the
+// app's dex image, JNI stub library, and binder endpoint, so it must be
+// unique among live apps. noJIT disables the app VM's trace JIT (ablation
+// A1, applied per app).
+func LaunchAs(sys *android.System, w *Workload, name string, noJIT bool) *android.App {
+	cfg := android.AppConfig{
+		Process:      name,
+		Label:        name,
+		ExtraLibs:    w.ExtraLibs,
+		Fullscreen:   !w.Background,
+		Foreground:   !w.Background,
+		AsyncWorkers: w.AsyncWorkers,
+		Helpers:      w.Helpers,
+		NoJIT:        noJIT,
+	}
+	a := sys.NewApp(cfg)
+	a.Start(w.Main)
+	return a
+}

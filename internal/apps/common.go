@@ -44,8 +44,12 @@ func readAsset(ex *kernel.Exec, a *android.App, buf *mem.VMA, n uint64) {
 
 // uiPump charges one frame's worth of framework overhead: input pipeline,
 // view traversal and layout in framework bytecode, plus a little liblog /
-// libandroid_runtime native glue.
+// libandroid_runtime native glue. It is also the main thread's lifecycle
+// gate: a pause posted by the ActivityManager parks the thread here until
+// the matching resume, so every UI-driving workload backgrounds cleanly
+// under the scenario engine.
 func uiPump(ex *kernel.Exec, a *android.App, bytecodes uint64) {
+	a.PausePoint(ex)
 	a.VM.InterpBulk(ex, a.FrameworkDex, bytecodes, false)
 	rt := a.LinkMap.VMA("libandroid_runtime.so")
 	ex.InCode(rt, func() {

@@ -111,6 +111,21 @@ func (d *Driver) Lookup(name string) (*Service, bool) {
 	return s, ok
 }
 
+// Unregister removes a service from the context manager, as happens when its
+// hosting process dies. Killing the service's binder pool threads is the
+// caller's job (they belong to the dead process); once the name is free a
+// relaunched process may Register it again. Unregistering an unknown name is
+// a no-op.
+func (d *Driver) Unregister(name string) {
+	delete(d.services, name)
+}
+
+// Sender reports the thread that issued the transaction — the moral
+// equivalent of binder_transaction_data's sender_pid: services use it to
+// attribute sessions to their client process (and to tear them down when
+// that process dies).
+func (t *Transaction) Sender() *kernel.Thread { return t.sender }
+
 func (d *Driver) serveLoop(ex *kernel.Exec, s *Service) {
 	buf := d.bufferFor(s.Proc)
 	for {

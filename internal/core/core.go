@@ -16,6 +16,7 @@ import (
 	"agave/internal/android"
 	"agave/internal/apps"
 	"agave/internal/kernel"
+	"agave/internal/scenario"
 	"agave/internal/sim"
 	"agave/internal/spec"
 	"agave/internal/stats"
@@ -65,6 +66,10 @@ type Result struct {
 	// the run (the paper: 20–34 processes, 32–147 threads per Agave app).
 	Processes int
 	Threads   int
+	// LiveProcesses counts processes still alive at the end of the run;
+	// it drops below Processes when the run tears processes down (dexopt
+	// exits, scenario kills).
+	LiveProcesses int
 	// CodeRegions and DataRegions count distinct regions that received
 	// instruction and data references (the paper: 42–55 and 32–104 per
 	// app).
@@ -73,6 +78,11 @@ type Result struct {
 
 	Duration sim.Ticks
 	Checksum uint64 // SPEC only: the kernel's fold-proof accumulator
+
+	// Session carries the session-level result when the run was a
+	// multi-app scenario (nil for benchmark runs): the app roster, event
+	// count, and peak live-app census of the run that actually executed.
+	Session *scenario.Result
 }
 
 // AgaveNames lists the 19 Agave workloads in paper order.
@@ -80,6 +90,9 @@ func AgaveNames() []string { return apps.Names() }
 
 // SPECNames lists the six SPEC CPU2006 baselines in paper order.
 func SPECNames() []string { return spec.Names() }
+
+// ScenarioNames lists the bundled multi-app scenarios in canonical order.
+func ScenarioNames() []string { return scenario.Names() }
 
 // SuiteNames lists every benchmark: 19 Agave then 6 SPEC.
 func SuiteNames() []string { return append(AgaveNames(), SPECNames()...) }
@@ -140,17 +153,52 @@ func RunSPEC(name string, cfg Config) (*Result, error) {
 	return collect(name, true, k, cfg, env.Checksum), nil
 }
 
+// RunScenario executes one bundled multi-app scenario by name: the scripted
+// session engine boots the stack, warms it up, then drives the scenario's
+// lifecycle timeline across cfg.Duration while attributing every reference
+// per process, exactly as single-app runs do. The result's Benchmark field
+// carries the scenario name.
+func RunScenario(name string, cfg Config) (*Result, error) {
+	sc, err := scenario.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scenario.Run(sc, scenario.Config{
+		Seed:                 cfg.Seed,
+		Duration:             cfg.Duration,
+		Warmup:               cfg.Warmup,
+		Quantum:              cfg.Quantum,
+		DisableJIT:           cfg.DisableJIT,
+		DirtyRectComposition: cfg.DirtyRectComposition,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Benchmark:     r.Scenario,
+		Stats:         r.Stats,
+		Processes:     r.Processes,
+		Threads:       r.Threads,
+		LiveProcesses: r.LiveProcesses,
+		CodeRegions:   r.CodeRegions,
+		DataRegions:   r.DataRegions,
+		Duration:      r.Duration,
+		Session:       r,
+	}, nil
+}
+
 func collect(name string, isSpec bool, k *kernel.Kernel, cfg Config, checksum uint64) *Result {
 	return &Result{
-		Benchmark:   name,
-		IsSPEC:      isSpec,
-		Stats:       k.Stats,
-		Processes:   k.ProcessCount(),
-		Threads:     k.ThreadCount(),
-		CodeRegions: k.Stats.RegionCount(stats.IFetch),
-		DataRegions: k.Stats.RegionCount(stats.DataKinds...),
-		Duration:    cfg.Duration,
-		Checksum:    checksum,
+		Benchmark:     name,
+		IsSPEC:        isSpec,
+		Stats:         k.Stats,
+		Processes:     k.ProcessCount(),
+		Threads:       k.ThreadCount(),
+		LiveProcesses: k.LiveProcessCount(),
+		CodeRegions:   k.Stats.RegionCount(stats.IFetch),
+		DataRegions:   k.Stats.RegionCount(stats.DataKinds...),
+		Duration:      cfg.Duration,
+		Checksum:      checksum,
 	}
 }
 
@@ -165,18 +213,27 @@ func (cfg Config) forSpec(s suite.RunSpec) Config {
 	return out
 }
 
-// NewEngine builds a suite engine that executes core benchmarks: each run
-// boots a fresh simulated machine configured from base plus the spec's seed
-// and ablation. parallel bounds the worker pool (<= 0 means GOMAXPROCS).
+// NewEngine builds a suite engine that executes core benchmarks and
+// scenarios: each run boots a fresh simulated machine configured from base
+// plus the spec's seed and ablation. parallel bounds the worker pool (<= 0
+// means GOMAXPROCS).
 func NewEngine(base Config, parallel int) suite.Engine[*Result] {
 	return suite.Engine[*Result]{
 		Parallel: parallel,
 		Run: func(s suite.RunSpec) (*Result, sim.Ticks, error) {
 			cfg := base.forSpec(s)
-			r, err := Run(s.Benchmark, cfg)
+			var r *Result
+			var err error
+			if s.Scenario {
+				r, err = RunScenario(s.Benchmark, cfg)
+			} else {
+				r, err = Run(s.Benchmark, cfg)
+			}
 			if err != nil {
 				return nil, 0, err
 			}
+			// Only SPEC runs skip warmup accounting (they boot no
+			// Android stack); Agave and scenario runs include it.
 			ticks := cfg.Duration
 			if !r.IsSPEC {
 				ticks += cfg.Warmup

@@ -341,3 +341,69 @@ func TestProcessAndThreadCounts(t *testing.T) {
 		t.Fatalf("process count = %d, want %d", k.ProcessCount(), base+2)
 	}
 }
+
+func TestKillProcessStopsThreadsMidRun(t *testing.T) {
+	k := newTestKernel()
+	defer k.Shutdown()
+	victim := k.NewProcess("victim", 1<<20, 1<<20)
+	var victimRefs uint64
+	for i := 0; i < 3; i++ {
+		k.SpawnThread(victim, "worker", "worker", func(ex *Exec) {
+			ex.PushCode(victim.Layout.Text)
+			for {
+				ex.Fetch(100)
+				victimRefs += 100
+				ex.SleepFor(50 * sim.Microsecond)
+			}
+		})
+	}
+	// A killer thread in another process terminates the victim mid-run —
+	// the scenario driver's teardown path.
+	killer := k.NewProcess("killer", 1<<20, 1<<20)
+	k.SpawnThread(killer, "main", "main", func(ex *Exec) {
+		ex.PushCode(killer.Layout.Text)
+		ex.SleepFor(300 * sim.Microsecond)
+		k.KillProcess(victim)
+	})
+	k.Run(1 * sim.Millisecond)
+	if got := victim.LiveThreads(); got != 0 {
+		t.Fatalf("victim live threads after kill = %d, want 0", got)
+	}
+	atKill := victimRefs
+	if atKill == 0 {
+		t.Fatal("victim never ran before the kill")
+	}
+	// Nothing of the victim runs after the kill.
+	k.Run(2 * sim.Millisecond)
+	if victimRefs != atKill {
+		t.Fatalf("victim issued %d refs after being killed", victimRefs-atKill)
+	}
+	// Census still counts the dead process; the live count does not.
+	if k.FindProcess("victim") == nil {
+		t.Fatal("killed process vanished from the process table")
+	}
+	if lc, tc := k.LiveProcessCount(), k.ProcessCount(); lc >= tc {
+		t.Fatalf("live process count %d not below total %d", lc, tc)
+	}
+	// Killing an already-dead process is a no-op.
+	k.KillProcess(victim)
+}
+
+func TestKillProcessWakeOnDeadThreadIsNoop(t *testing.T) {
+	k := newTestKernel()
+	defer k.Shutdown()
+	p := k.NewProcess("victim", 1<<20, 1<<20)
+	wq := k.NewWaitQueue("test.park")
+	k.SpawnThread(p, "parked", "parked", func(ex *Exec) {
+		ex.PushCode(p.Layout.Text)
+		ex.Wait(wq)
+	})
+	k.Run(100 * sim.Microsecond)
+	k.KillProcess(p)
+	// A waker finding the dead thread on the queue must not resurrect it.
+	wq.WakeAll()
+	k.Run(200 * sim.Microsecond)
+	if p.LiveThreads() != 0 {
+		t.Fatal("dead thread came back to life")
+	}
+}

@@ -160,6 +160,38 @@ func (k *Kernel) Fork(parent *Process, name string) *Process {
 	return child
 }
 
+// KillProcess forcibly terminates every live thread of p — the kernel side
+// of Android's process teardown (ActivityManager killing a backgrounded or
+// misbehaving app). Blocked, sleeping, and runnable threads unwind
+// immediately; threads of other processes blocked on p's wait queues are
+// never woken by it again (their wakers must handle the death, as the media
+// server does for dead clients). The process object and its address space
+// stay in the tables, so census counts — which track everything ever
+// created, as the paper's do — are unaffected. Safe to call both from the
+// host between Run calls and from a running simulated thread (as the
+// scenario driver does); a process may not kill itself.
+func (k *Kernel) KillProcess(p *Process) {
+	for _, t := range p.Threads {
+		if t.ctx == nil || t.ctx.Exited() {
+			continue
+		}
+		t.ctx.Kill()
+		t.State = StateExited
+	}
+}
+
+// LiveProcessCount counts processes that still have at least one live
+// thread (plus any that never spawned one).
+func (k *Kernel) LiveProcessCount() int {
+	n := 0
+	for _, p := range k.procs {
+		if len(p.Threads) == 0 || p.LiveThreads() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // SpawnThread creates and starts a thread in p running body. The first
 // thread of a process uses the main "stack" region; later threads get
 // anonymous mmap stacks. group is the Table-I accounting name.

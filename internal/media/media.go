@@ -103,7 +103,7 @@ func (s *Server) handle(ex *kernel.Exec, txn *binder.Transaction) {
 	txn.Reply = binder.NewParcel()
 	switch txn.Code {
 	case opOpenMP3, opOpenMP4:
-		sess := s.newSession(ex, txn.Code)
+		sess := s.newSession(ex, txn.Code, txn.Sender().Proc)
 		txn.Reply.WriteInt32(sess.id)
 	case opStart:
 		id, _ := txn.Data.ReadInt32()
@@ -136,11 +136,12 @@ func (s *Server) find(id int32) *session {
 	return nil
 }
 
-func (s *Server) newSession(ex *kernel.Exec, kind int32) *session {
+func (s *Server) newSession(ex *kernel.Exec, kind int32, owner *kernel.Process) *session {
 	k := s.Proc.Kernel()
 	sess := &session{
 		id:    int32(len(s.sessions) + 1),
 		kind:  kind,
+		owner: owner,
 		start: k.NewWaitQueue("media.start"),
 	}
 	sess.bitstream = s.Proc.Layout.MapAnon(s.Proc.AS, bitstreamSize)
@@ -387,6 +388,23 @@ func (p *Player) Stop(ex *kernel.Exec, d *binder.Driver) error {
 		return fmt.Errorf("media: stop failed (%d)", rc)
 	}
 	return nil
+}
+
+// StopOwned halts every session whose client is owner — the death
+// notification path: when a client process dies, MediaPlayerService reaps
+// its players so decoders and the mixer stop burning cycles on a stream
+// nobody is listening to. Decode and delivery threads park on the session's
+// start queue; a relaunched client opens fresh sessions. It reports how many
+// sessions were stopped.
+func (s *Server) StopOwned(owner *kernel.Process) int {
+	n := 0
+	for _, sess := range s.sessions {
+		if sess.owner == owner && sess.active {
+			sess.active = false
+			n++
+		}
+	}
+	return n
 }
 
 // StreamTrack spawns a client-side "AudioTrackThread" in owner that

@@ -38,7 +38,7 @@ func MatrixRows(outputs []suite.RunOutput[*core.Result]) []MatrixRow {
 		}
 		r := o.Result
 		rows = append(rows, MatrixRow{
-			Benchmark:   r.Benchmark,
+			Benchmark:   o.Spec.UnitName(),
 			Seed:        o.Spec.Seed,
 			Ablation:    o.Spec.Ablation.Label(),
 			WallMS:      float64(o.Wall.Microseconds()) / 1000,
@@ -92,6 +92,7 @@ type suiteJSON struct {
 
 type planJSON struct {
 	Benchmarks []string `json:"benchmarks"`
+	Scenarios  []string `json:"scenarios,omitempty"`
 	Seeds      []uint64 `json:"seeds"`
 	Ablations  []string `json:"ablations"`
 	Parallel   int      `json:"parallel"`
@@ -102,7 +103,8 @@ type planJSON struct {
 func WriteSuiteJSON(w io.Writer, p suite.Plan, parallel int,
 	outputs []suite.RunOutput[*core.Result]) error {
 	doc := suiteJSON{
-		Plan: planJSON{Benchmarks: p.Benchmarks, Seeds: p.Seeds, Parallel: parallel},
+		Plan: planJSON{Benchmarks: p.Benchmarks, Scenarios: p.Scenarios,
+			Seeds: p.Seeds, Parallel: parallel},
 		Runs: MatrixRows(outputs),
 	}
 	for _, a := range p.Ablations {

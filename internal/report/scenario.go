@@ -1,0 +1,143 @@
+// Scenario-shaped output: per-run rows and per-app attribution for scripted
+// multi-app sessions. Unlike the suite matrix, scenario reports carry no
+// wall-clock or throughput columns — every field is a pure function of
+// (scenario, seed, ablation), so two invocations of the same plan emit
+// byte-identical reports regardless of worker count or machine load. That
+// property is what lets the CLI's -parallel flag be a pure speed knob.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"agave/internal/core"
+	"agave/internal/scenario"
+	"agave/internal/stats"
+	"agave/internal/suite"
+)
+
+// ScenarioAppRow is one scenario app's attribution within a run.
+type ScenarioAppRow struct {
+	Name     string  `json:"name"`
+	Workload string  `json:"workload"`
+	Refs     uint64  `json:"refs"`
+	Share    float64 `json:"share"`
+}
+
+// ScenarioRow is one completed scenario run, flattened for rendering. All
+// fields are deterministic for a (scenario, seed, ablation) triple.
+type ScenarioRow struct {
+	Scenario      string           `json:"scenario"`
+	Seed          uint64           `json:"seed"`
+	Ablation      string           `json:"ablation"`
+	Events        int              `json:"events"`
+	MaxLiveApps   int              `json:"max_live_apps"`
+	TotalRefs     uint64           `json:"total_refs"`
+	Processes     int              `json:"processes"`
+	LiveProcesses int              `json:"live_processes"`
+	Threads       int              `json:"threads"`
+	CodeRegions   int              `json:"code_regions"`
+	DataRegions   int              `json:"data_regions"`
+	Fingerprint   uint64           `json:"fingerprint"`
+	Apps          []ScenarioAppRow `json:"apps"`
+}
+
+// ScenarioRows flattens scenario suite outputs (skipping failed runs and
+// non-scenario specs) in plan order. Session-level fields — event count,
+// peak live apps, the per-app attribution roster — come from the run's own
+// result, so rows describe the session that actually executed (bundled or
+// not), never a registry lookup.
+func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
+	rows := make([]ScenarioRow, 0, len(outputs))
+	for _, o := range outputs {
+		if o.Err != nil || o.Result == nil || !o.Spec.Scenario {
+			continue
+		}
+		r := o.Result
+		row := ScenarioRow{
+			Scenario:      r.Benchmark,
+			Seed:          o.Spec.Seed,
+			Ablation:      o.Spec.Ablation.Label(),
+			TotalRefs:     r.Stats.Total(),
+			Processes:     r.Processes,
+			LiveProcesses: r.LiveProcesses,
+			Threads:       r.Threads,
+			CodeRegions:   r.CodeRegions,
+			DataRegions:   r.DataRegions,
+			Fingerprint:   r.Stats.Fingerprint(),
+		}
+		if s := r.Session; s != nil {
+			row.Events = s.Events
+			row.MaxLiveApps = s.MaxLive
+			byProc := stats.NewBreakdown(r.Stats.ByProcess())
+			for _, app := range s.Apps {
+				row.Apps = append(row.Apps, ScenarioAppRow{
+					Name:     app.Name,
+					Workload: app.Workload,
+					Refs:     byProc.Count(app.Name),
+					Share:    byProc.Share(app.Name),
+				})
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteScenarioMatrix renders one line per scenario run plus an indented
+// per-app attribution block — the multi-app counterpart of WriteMatrix,
+// minus every non-deterministic column.
+func WriteScenarioMatrix(w io.Writer, outputs []suite.RunOutput[*core.Result]) {
+	fmt.Fprintf(w, "%-16s %6s %-10s %7s %12s %11s %8s %8s %8s\n",
+		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions")
+	for _, r := range ScenarioRows(outputs) {
+		fmt.Fprintf(w, "%-16s %6d %-10s %7d %12d %11d %8d %8d %8d\n",
+			r.Scenario, r.Seed, r.Ablation, r.Events, r.TotalRefs,
+			r.Processes, r.LiveProcesses, r.Threads, r.CodeRegions+r.DataRegions)
+		for _, a := range r.Apps {
+			fmt.Fprintf(w, "    %-14s %-22s %12d %6.2f%%\n",
+				a.Name, a.Workload, a.Refs, a.Share*100)
+		}
+	}
+}
+
+// scenarioPlanJSON is the plan half of a scenario sweep document.
+type scenarioPlanJSON struct {
+	Scenarios []string `json:"scenarios"`
+	Seeds     []uint64 `json:"seeds"`
+	Ablations []string `json:"ablations"`
+}
+
+// scenarioJSON is the top-level JSON document of a scenario sweep. The
+// worker count is deliberately absent: it cannot influence any byte of the
+// document.
+type scenarioJSON struct {
+	Plan scenarioPlanJSON `json:"plan"`
+	Runs []ScenarioRow    `json:"runs"`
+}
+
+// WriteScenarioJSON emits the scenario sweep as one indented JSON document
+// whose bytes depend only on the plan and the seeds.
+func WriteScenarioJSON(w io.Writer, p suite.Plan, outputs []suite.RunOutput[*core.Result]) error {
+	doc := scenarioJSON{
+		Plan: scenarioPlanJSON{Scenarios: p.Scenarios, Seeds: p.Seeds},
+		Runs: ScenarioRows(outputs),
+	}
+	for _, a := range p.Ablations {
+		doc.Plan.Ablations = append(doc.Plan.Ablations, a.Label())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteScenarioList renders the bundled scenario library: name, app count,
+// event count, peak concurrently-live apps, and the one-line description.
+func WriteScenarioList(w io.Writer, lib []*scenario.Scenario) {
+	fmt.Fprintf(w, "%-16s %5s %7s %5s  %s\n", "scenario", "apps", "events", "live", "description")
+	for _, s := range lib {
+		fmt.Fprintf(w, "%-16s %5d %7d %5d  %s\n",
+			s.Name, len(s.Apps), len(s.Timeline), s.MaxLiveApps(), s.Description)
+	}
+}

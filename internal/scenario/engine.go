@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"fmt"
+
+	"agave/internal/android"
+	"agave/internal/apps"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+	"agave/internal/stats"
+)
+
+// Config controls one scenario run. It deliberately mirrors core.Config:
+// scenarios are measured exactly like single-app runs — boot, warm up,
+// reset counters, measure — with the timeline scripted across the measured
+// interval.
+type Config struct {
+	// Seed drives every stochastic decision; equal seeds give
+	// bit-identical results.
+	Seed uint64
+	// Duration is the measured simulated interval; the timeline's
+	// Fractions are positions within it.
+	Duration sim.Ticks
+	// Warmup runs the booted (but app-less) stack before measurement:
+	// scenario measurements include app launches by design, so only the
+	// system boot transient is excluded.
+	Warmup sim.Ticks
+	// Quantum is the scheduler time slice all live apps share.
+	Quantum sim.Ticks
+	// DisableJIT turns the trace JIT off in every scenario app.
+	DisableJIT bool
+	// DirtyRectComposition switches SurfaceFlinger to composing only
+	// posted surfaces.
+	DirtyRectComposition bool
+}
+
+// Result is the outcome of one scenario run: the same attributed counter
+// matrix and census scalars a single-app run yields, plus session-level
+// counts.
+type Result struct {
+	Scenario string
+	// Apps is the session's app roster (name → workload), copied from the
+	// scenario so downstream consumers can resolve per-app attribution
+	// without re-looking the scenario up in any registry.
+	Apps  []App
+	Stats *stats.Collector
+
+	Processes int
+	Threads   int
+	// LiveProcesses counts processes still alive at the end — the
+	// difference to Processes is the teardown the session performed.
+	LiveProcesses int
+	CodeRegions   int
+	DataRegions   int
+
+	// Events is the number of timeline events applied.
+	Events int
+	// MaxLive is the peak number of simultaneously-live scenario apps.
+	MaxLive int
+
+	Duration sim.Ticks
+}
+
+// driver is the running session state: the scenario's apps by name and the
+// current foreground app. It lives on the ScenarioDriver thread — the
+// simulated counterpart of the `am` tooling scripted sessions use on real
+// devices — so every transition is charged inside system_server at a
+// deterministic simulated time.
+type driver struct {
+	sys        *android.System
+	cfg        Config
+	byName     map[string]*apps.Workload
+	live       map[string]*android.App
+	foreground string
+	// scriptDone flips once every timeline event has been applied; the
+	// engine steps the machine until it is set.
+	scriptDone bool
+}
+
+// Run executes one scripted session: boot, warm up, then drive the timeline
+// across the measured interval while every live app runs its workload.
+func Run(s *Scenario, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("scenario %s: non-positive duration", s.Name)
+	}
+	d := &driver{
+		cfg:    cfg,
+		byName: make(map[string]*apps.Workload, len(s.Apps)),
+		live:   make(map[string]*android.App, len(s.Apps)),
+	}
+	for _, a := range s.Apps {
+		w, err := apps.ByName(a.Workload)
+		if err != nil {
+			return nil, err // unreachable after Validate
+		}
+		d.byName[a.Name] = w
+	}
+
+	k := kernel.New(kernel.Config{Quantum: cfg.Quantum, Seed: cfg.Seed})
+	defer k.Shutdown()
+	sys := android.Boot(k)
+	sys.Compositor.DirtyRectOnly = cfg.DirtyRectComposition
+	d.sys = sys
+
+	// Warmup covers the system boot transient only: no scenario app exists
+	// yet, because launches are part of the measured session.
+	k.Run(cfg.Warmup)
+	k.Stats.Reset()
+
+	// The driver thread scripts the session from inside the simulation:
+	// it sleeps to each event's deadline and applies the transition, so
+	// event timing, cost, and attribution (to system_server, like the real
+	// ActivityManager's) are deterministic parts of the measurement.
+	start := k.Clock.Now()
+	k.SpawnThread(sys.SystemServer, "ScenarioDriver", "ScenarioDriver", func(ex *kernel.Exec) {
+		ex.PushCode(sys.SystemServer.Layout.Text)
+		for _, ev := range s.Timeline {
+			ex.SleepUntil(ev.at(start, cfg.Duration))
+			d.apply(ex, ev)
+		}
+		d.scriptDone = true
+		// Script exhausted: park until the run ends.
+		ex.Wait(k.NewWaitQueue("scenario.done"))
+	})
+	k.Run(cfg.Warmup + cfg.Duration)
+	// A scheduler quantum can overshoot the deadline past the timers of
+	// events scripted at the very end of the interval (At near 1000).
+	// Step the machine forward until the whole script has executed, so
+	// every validated event is applied — Result.Events is a promise.
+	for !d.scriptDone {
+		k.Run(k.Clock.Now() + 1)
+	}
+
+	return &Result{
+		Scenario:      s.Name,
+		Apps:          append([]App(nil), s.Apps...),
+		Stats:         k.Stats,
+		Processes:     k.ProcessCount(),
+		Threads:       k.ThreadCount(),
+		LiveProcesses: k.LiveProcessCount(),
+		CodeRegions:   k.Stats.RegionCount(stats.IFetch),
+		DataRegions:   k.Stats.RegionCount(stats.DataKinds...),
+		Events:        len(s.Timeline),
+		MaxLive:       s.MaxLiveApps(),
+		Duration:      cfg.Duration,
+	}, nil
+}
+
+// apply performs one validated timeline event on the driver thread.
+func (d *driver) apply(ex *kernel.Exec, ev Event) {
+	sys := d.sys
+	switch ev.Kind {
+	case Launch:
+		w := d.byName[ev.App]
+		a := apps.LaunchAs(sys, w, ev.App, d.cfg.DisableJIT)
+		d.live[ev.App] = a
+		if !w.Background {
+			// The launched activity takes the foreground; whoever held
+			// it is paused, exactly as a real launch backgrounds the
+			// previous task.
+			d.pauseForeground(ex, ev.App)
+			d.foreground = ev.App
+		}
+	case SwitchTo:
+		if d.foreground == ev.App {
+			return
+		}
+		d.pauseForeground(ex, ev.App)
+		sys.ResumeApp(ex, d.live[ev.App])
+		d.foreground = ev.App
+	case Background:
+		sys.PauseApp(ex, d.live[ev.App])
+		if d.foreground == ev.App {
+			d.foreground = ""
+		}
+	case Kill:
+		sys.KillApp(ex, d.live[ev.App])
+		delete(d.live, ev.App)
+		if d.foreground == ev.App {
+			d.foreground = ""
+		}
+	case Idle:
+		// A deliberate gap: the system runs undisturbed.
+	}
+}
+
+// pauseForeground pauses the current foreground app, if any, unless it is
+// the app about to take over.
+func (d *driver) pauseForeground(ex *kernel.Exec, next string) {
+	if d.foreground == "" || d.foreground == next {
+		return
+	}
+	if a, ok := d.live[d.foreground]; ok {
+		d.sys.PauseApp(ex, a)
+	}
+	d.foreground = ""
+}

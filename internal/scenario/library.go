@@ -1,0 +1,179 @@
+package scenario
+
+import "fmt"
+
+// Library returns the bundled scenarios in canonical order. Each is built
+// fresh so callers may not mutate shared state, mirroring apps.All.
+func Library() []*Scenario {
+	return []*Scenario{
+		commute(),
+		socialBurst(),
+		backgroundSync(),
+		mediaMarathon(),
+		installStorm(),
+		appChurn(),
+	}
+}
+
+// Names lists the bundled scenario identifiers in order.
+func Names() []string {
+	lib := Library()
+	out := make([]string, len(lib))
+	for i, s := range lib {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName finds a bundled scenario.
+func ByName(name string) (*Scenario, error) {
+	for _, s := range Library() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// commute — the classic phone-in-the-car session: music starts, navigation
+// takes the screen, and the user flips between them. While the map is
+// foreground the music app's UI is parked in its looper, but its decode
+// keeps running inside mediaserver — the paper's service-side attribution
+// made visible across a lifecycle boundary.
+func commute() *Scenario {
+	return &Scenario{
+		Name:        "commute",
+		Description: "music + navigation switching; backgrounded audio keeps decoding in mediaserver",
+		Apps: []App{
+			{Name: "music", Workload: "music.mp3.view"},
+			{Name: "maps", Workload: "osmand.nav.view"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "music"},
+			{At: 150, Kind: Launch, App: "maps"},
+			{At: 400, Kind: SwitchTo, App: "music"},
+			{At: 550, Kind: SwitchTo, App: "maps"},
+			{At: 800, Kind: SwitchTo, App: "music"},
+			{At: 920, Kind: Background, App: "music"},
+		},
+	}
+}
+
+// socialBurst — rapid app hopping across four resident apps: the
+// notification-chasing usage pattern. Four apps stay live concurrently;
+// every hop drives a pause/resume pair through the loopers and reshuffles
+// which surface SurfaceFlinger composes.
+func socialBurst() *Scenario {
+	return &Scenario{
+		Name:        "social-burst",
+		Description: "rapid hops across four live apps; every hop is a looper pause/resume pair",
+		Apps: []App{
+			{Name: "dict", Workload: "aard.main"},
+			{Name: "reader", Workload: "coolreader.epub.view"},
+			{Name: "timer", Workload: "countdown.main"},
+			{Name: "game", Workload: "frozenbubble.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "dict"},
+			{At: 80, Kind: Launch, App: "reader"},
+			{At: 160, Kind: Launch, App: "timer"},
+			{At: 240, Kind: Launch, App: "game"},
+			{At: 330, Kind: SwitchTo, App: "dict"},
+			{At: 420, Kind: SwitchTo, App: "reader"},
+			{At: 510, Kind: SwitchTo, App: "game"},
+			{At: 600, Kind: SwitchTo, App: "timer"},
+			{At: 690, Kind: SwitchTo, App: "dict"},
+			{At: 780, Kind: SwitchTo, App: "game"},
+			{At: 900, Kind: SwitchTo, App: "reader"},
+		},
+	}
+}
+
+// backgroundSync — a foreground game over a background install/indexing
+// service: the pm.apk.view.bkg service keeps forking id.defcontainer and
+// dexopt underneath the game's frame loop, contending for the same
+// scheduler quanta.
+func backgroundSync() *Scenario {
+	return &Scenario{
+		Name:        "background-sync",
+		Description: "foreground game while a background service keeps installing (dexopt churn)",
+		Apps: []App{
+			{Name: "sync", Workload: "pm.apk.view.bkg"},
+			{Name: "game", Workload: "doom.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "sync"},
+			{At: 100, Kind: Launch, App: "game"},
+			{At: 600, Kind: Background, App: "game"},
+			{At: 620, Kind: Idle},
+			{At: 750, Kind: SwitchTo, App: "game"},
+		},
+	}
+}
+
+// mediaMarathon — service-side vs in-process decode across a process
+// death: gallery decodes in mediaserver until it is killed mid-playback
+// (its sessions stop via the death-notification path), then VLC decodes
+// the same class of content inside its own process.
+func mediaMarathon() *Scenario {
+	return &Scenario{
+		Name:        "media-marathon",
+		Description: "mediaserver-side playback killed mid-clip, then in-process playback; background music throughout",
+		Apps: []App{
+			{Name: "gallery", Workload: "gallery.mp4.view"},
+			{Name: "radio", Workload: "music.mp3.view.bkg"},
+			{Name: "vlc", Workload: "vlc.mp4.view"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "gallery"},
+			{At: 150, Kind: Launch, App: "radio"},
+			{At: 500, Kind: Kill, App: "gallery"},
+			{At: 560, Kind: Launch, App: "vlc"},
+		},
+	}
+}
+
+// installStorm — an install session racing a game: the foreground flips
+// between pm.apk.view's install pipeline (package service, id.defcontainer,
+// dexopt) and a Java game, so install back-pressure lands on a loaded
+// scheduler.
+func installStorm() *Scenario {
+	return &Scenario{
+		Name:        "install-storm",
+		Description: "installs racing a Java game for the foreground and the scheduler",
+		Apps: []App{
+			{Name: "installer", Workload: "pm.apk.view"},
+			{Name: "game", Workload: "frozenbubble.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "installer"},
+			{At: 120, Kind: Launch, App: "game"},
+			{At: 480, Kind: SwitchTo, App: "installer"},
+			{At: 700, Kind: SwitchTo, App: "game"},
+		},
+	}
+}
+
+// appChurn — lifecycle stress: apps are launched, killed, and relaunched
+// under the same name, exercising process teardown, binder endpoint
+// re-registration, and zygote's fork path repeatedly within one session.
+func appChurn() *Scenario {
+	return &Scenario{
+		Name:        "app-churn",
+		Description: "launch/kill/relaunch cycles; teardown and zygote fork under churn",
+		Apps: []App{
+			{Name: "note", Workload: "countdown.main"},
+			{Name: "game", Workload: "jetboy.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "note"},
+			{At: 140, Kind: Launch, App: "game"},
+			{At: 300, Kind: Kill, App: "note"},
+			{At: 400, Kind: Launch, App: "note"},
+			{At: 560, Kind: Kill, App: "game"},
+			{At: 660, Kind: Launch, App: "game"},
+			{At: 820, Kind: SwitchTo, App: "note"},
+			{At: 930, Kind: SwitchTo, App: "game"},
+		},
+	}
+}

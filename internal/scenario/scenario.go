@@ -1,0 +1,215 @@
+// Package scenario is the scripted multi-app session engine of the Agave
+// reproduction. The paper's central argument is that Android's behavior
+// emerges from interaction across the stack — yet classic benchmark runs
+// boot one app and hold it foreground for the whole measured interval. A
+// Scenario instead scripts a deterministic timeline of lifecycle events
+// (Launch, SwitchTo, Background, Kill, Idle) over several named apps drawn
+// from the existing workload suite: apps launch mid-measurement, pause and
+// resume through their main-thread loopers, die under ActivityManager
+// teardown, and run concurrently under the ordinary scheduler quantum.
+// Every reference is attributed per (process, thread, region) exactly as in
+// single-app runs — each app is its own process — so stats.Fingerprint
+// remains the determinism and comparison primitive.
+//
+// Event times are expressed as thousandths of the measured interval, so a
+// scenario's shape is duration-invariant: a 150 ms regression run and a
+// 10 s measurement run execute the same session, scaled.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"agave/internal/apps"
+	"agave/internal/sim"
+)
+
+// Kind is a lifecycle event type.
+type Kind uint8
+
+// Timeline event kinds.
+const (
+	// Launch forks the app from zygote and starts its workload; the
+	// launched app takes the foreground (unless its workload is a
+	// background service), pausing whichever app held it.
+	Launch Kind = iota
+	// SwitchTo brings an already-running app to the foreground, pausing
+	// the current foreground app.
+	SwitchTo
+	// Background pauses the app without bringing another forward.
+	Background
+	// Kill tears the app's process down (ActivityManager process death):
+	// threads terminate, media sessions stop, the binder endpoint is
+	// unregistered. The app may be launched again later in the timeline.
+	Kill
+	// Idle marks a deliberate gap in the session; the system runs
+	// undisturbed. It names no app.
+	Idle
+)
+
+// String names the event kind as scripts spell it.
+func (k Kind) String() string {
+	switch k {
+	case Launch:
+		return "launch"
+	case SwitchTo:
+		return "switchto"
+	case Background:
+		return "background"
+	case Kill:
+		return "kill"
+	case Idle:
+		return "idle"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fraction is a position within the measured interval, in thousandths:
+// 0 is measurement start, 1000 the end.
+type Fraction int
+
+// Event is one step of a scenario timeline.
+type Event struct {
+	// At places the event within the measured interval.
+	At Fraction
+	// Kind is the lifecycle transition to drive.
+	Kind Kind
+	// App names the target (a Scenario.Apps entry); empty for Idle.
+	App string
+}
+
+// String renders the event as "at=250 switchto maps".
+func (e Event) String() string {
+	if e.App == "" {
+		return fmt.Sprintf("at=%d %s", e.At, e.Kind)
+	}
+	return fmt.Sprintf("at=%d %s %s", e.At, e.Kind, e.App)
+}
+
+// App declares one application of a scenario: a short session-unique name
+// (which becomes the process name in every report, as "benchmark" is for
+// single-app runs) bound to an Agave workload.
+type App struct {
+	Name     string
+	Workload string
+}
+
+// Scenario is a scripted multi-app session.
+type Scenario struct {
+	// Name identifies the scenario in plans, reports, and the CLI.
+	Name string
+	// Description is the one-line synopsis `agave scenario -list` prints.
+	Description string
+	// Apps declares the session's applications in launch-plan order.
+	Apps []App
+	// Timeline is the event script, ordered by At.
+	Timeline []Event
+}
+
+// reservedNames are process names the booted system already owns; scenario
+// apps may not take them (their binder endpoints would collide).
+var reservedNames = map[string]bool{
+	"launcher":  true,
+	"systemui":  true,
+	"benchmark": true,
+}
+
+// MaxLiveApps reports the largest number of scenario apps simultaneously
+// alive (launched and not yet killed) at any point of the timeline.
+func (s *Scenario) MaxLiveApps() int {
+	live := make(map[string]bool)
+	max := 0
+	for _, ev := range s.Timeline {
+		switch ev.Kind {
+		case Launch:
+			live[ev.App] = true
+		case Kill:
+			delete(live, ev.App)
+		}
+		if len(live) > max {
+			max = len(live)
+		}
+	}
+	return max
+}
+
+// Validate checks the scenario is well-formed and that its timeline is a
+// legal lifecycle history: events in order, every event targeting a
+// declared app, launches only of dead apps, switches/backgrounds/kills only
+// of live ones. The engine runs only validated scenarios, so mid-run
+// failures cannot occur.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("scenario %s: no apps declared", s.Name)
+	}
+	declared := make(map[string]bool, len(s.Apps))
+	for _, a := range s.Apps {
+		if a.Name == "" {
+			return fmt.Errorf("scenario %s: app with empty name", s.Name)
+		}
+		if reservedNames[a.Name] {
+			return fmt.Errorf("scenario %s: app name %q is reserved by the booted system", s.Name, a.Name)
+		}
+		if declared[a.Name] {
+			return fmt.Errorf("scenario %s: duplicate app %q", s.Name, a.Name)
+		}
+		if _, err := apps.ByName(a.Workload); err != nil {
+			return fmt.Errorf("scenario %s: app %q: %v", s.Name, a.Name, err)
+		}
+		declared[a.Name] = true
+	}
+	if len(s.Timeline) == 0 {
+		return fmt.Errorf("scenario %s: empty timeline", s.Name)
+	}
+	if !sort.SliceIsSorted(s.Timeline, func(i, j int) bool {
+		return s.Timeline[i].At < s.Timeline[j].At
+	}) {
+		return fmt.Errorf("scenario %s: timeline not ordered by At", s.Name)
+	}
+	live := make(map[string]bool)
+	for _, ev := range s.Timeline {
+		if ev.At < 0 || ev.At > 1000 {
+			return fmt.Errorf("scenario %s: event %q outside [0,1000]", s.Name, ev)
+		}
+		if ev.Kind == Idle {
+			if ev.App != "" {
+				return fmt.Errorf("scenario %s: idle event names app %q", s.Name, ev.App)
+			}
+			continue
+		}
+		if !declared[ev.App] {
+			return fmt.Errorf("scenario %s: event %q targets undeclared app", s.Name, ev)
+		}
+		switch ev.Kind {
+		case Launch:
+			if live[ev.App] {
+				return fmt.Errorf("scenario %s: event %q launches an app that is already running", s.Name, ev)
+			}
+			live[ev.App] = true
+		case SwitchTo, Background:
+			if !live[ev.App] {
+				return fmt.Errorf("scenario %s: event %q targets an app that is not running", s.Name, ev)
+			}
+		case Kill:
+			if !live[ev.App] {
+				return fmt.Errorf("scenario %s: event %q kills an app that is not running", s.Name, ev)
+			}
+			delete(live, ev.App)
+		default:
+			return fmt.Errorf("scenario %s: event %q has unknown kind", s.Name, ev)
+		}
+	}
+	return nil
+}
+
+// at resolves the event's position to an absolute simulated time within a
+// measured interval beginning at start and lasting duration. Events close
+// to the end may land beyond the interval's scheduling horizon (a quantum
+// can overshoot the deadline); the engine keeps stepping the machine until
+// the script has fully executed, so they are applied, never dropped.
+func (e Event) at(start, duration sim.Ticks) sim.Ticks {
+	return start + duration*sim.Ticks(e.At)/1000
+}

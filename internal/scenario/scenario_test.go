@@ -1,0 +1,260 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"agave/internal/android"
+	"agave/internal/apps"
+	"agave/internal/kernel"
+	"agave/internal/sim"
+)
+
+func quickCfg() Config {
+	return Config{
+		Seed:     1,
+		Duration: 150 * sim.Millisecond,
+		Warmup:   80 * sim.Millisecond,
+		Quantum:  sim.Millisecond,
+	}
+}
+
+func TestLibraryValidatesAndCoversTheBar(t *testing.T) {
+	lib := Library()
+	if len(lib) < 5 {
+		t.Fatalf("library has %d scenarios, want >= 5", len(lib))
+	}
+	maxLive := 0
+	seen := make(map[string]bool)
+	for _, s := range lib {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: empty description", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if ml := s.MaxLiveApps(); ml > maxLive {
+			maxLive = ml
+		}
+	}
+	if maxLive < 3 {
+		t.Fatalf("no scenario reaches 3 concurrently-live apps (max %d)", maxLive)
+	}
+}
+
+func TestValidateRejectsIllFormedTimelines(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name: "t",
+			Apps: []App{{Name: "a", Workload: "countdown.main"}},
+			Timeline: []Event{
+				{At: 0, Kind: Launch, App: "a"},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"unknown workload", func(s *Scenario) { s.Apps[0].Workload = "no.such" }},
+		{"reserved app name", func(s *Scenario) {
+			s.Apps[0].Name = "launcher"
+			s.Timeline[0].App = "launcher"
+		}},
+		{"duplicate app", func(s *Scenario) { s.Apps = append(s.Apps, s.Apps[0]) }},
+		{"empty timeline", func(s *Scenario) { s.Timeline = nil }},
+		{"unordered timeline", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 500, Kind: Background, App: "a"},
+				Event{At: 100, Kind: SwitchTo, App: "a"})
+		}},
+		{"double launch", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Launch, App: "a"})
+		}},
+		{"switch to dead app", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Kill, App: "a"},
+				Event{At: 200, Kind: SwitchTo, App: "a"})
+		}},
+		{"kill before launch", func(s *Scenario) {
+			s.Timeline = []Event{{At: 0, Kind: Kill, App: "a"}}
+		}},
+		{"undeclared target", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: SwitchTo, App: "ghost"})
+		}},
+		{"idle with app", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Idle, App: "a"})
+		}},
+		{"fraction out of range", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 1500, Kind: Background, App: "a"})
+		}},
+	}
+	for _, c := range cases {
+		s := base()
+		c.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+// TestRunIsSeedDeterministic is the core guarantee: a scenario is a
+// measurement, so two runs with equal seeds must produce bit-identical
+// attributed counters even across launches, switches, and kills.
+func TestRunIsSeedDeterministic(t *testing.T) {
+	sc, err := ByName("commute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Fingerprint() != b.Stats.Fingerprint() {
+		t.Fatal("same seed, diverging fingerprints")
+	}
+	if !reflect.DeepEqual(a.Stats.Entries(), b.Stats.Entries()) {
+		t.Fatal("same seed, diverging counter matrices")
+	}
+	// A different session length is a genuinely different measurement.
+	longer := quickCfg()
+	longer.Duration += 50 * sim.Millisecond
+	c, err := Run(sc, longer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Fingerprint() == a.Stats.Fingerprint() {
+		t.Fatal("longer run produced an identical fingerprint")
+	}
+}
+
+// TestEndOfIntervalEventFires guards the half-open-interval edge: the
+// kernel stops the instant the deadline is reached, so an event scripted at
+// At=1000 must land on the interval's last tick, not one past it.
+func TestEndOfIntervalEventFires(t *testing.T) {
+	sc := &Scenario{
+		Name:        "edge",
+		Description: "kill on the final tick",
+		Apps:        []App{{Name: "note", Workload: "countdown.main"}},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "note"},
+			{At: 1000, Kind: Kill, App: "note"},
+		},
+	}
+	res, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LiveProcesses >= res.Processes {
+		t.Fatalf("At=1000 kill did not execute: live %d, total %d",
+			res.LiveProcesses, res.Processes)
+	}
+}
+
+// TestPerAppAttribution pins the tentpole property: with four apps live at
+// once, every app is its own process in the counter matrix, and all of them
+// issue references.
+func TestPerAppAttribution(t *testing.T) {
+	sc, err := ByName("social-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MaxLiveApps() < 3 {
+		t.Fatalf("social-burst holds %d live apps, want >= 3", sc.MaxLiveApps())
+	}
+	res, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProc := res.Stats.ByProcess()
+	for _, app := range sc.Apps {
+		if byProc[app.Name] == 0 {
+			t.Errorf("app %q attributed no references", app.Name)
+		}
+	}
+	// The resident stack is present too, exactly as in single-app runs
+	// (zygote itself is silent post-warmup, there as here: it parks in its
+	// fork-request loop before measurement starts).
+	for _, p := range []string{"system_server", "mediaserver", "swapper"} {
+		if byProc[p] == 0 {
+			t.Errorf("resident process %q attributed no references", p)
+		}
+	}
+	if res.MaxLive < 3 {
+		t.Errorf("result MaxLive = %d, want >= 3", res.MaxLive)
+	}
+}
+
+// TestKillTearsProcessesDown runs the kill-heavy scenarios and checks the
+// census: killed incarnations stay in the process count (as all spawned
+// processes do) while the live count drops below it.
+func TestKillTearsProcessesDown(t *testing.T) {
+	for _, name := range []string{"media-marathon", "app-churn"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sc, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LiveProcesses >= res.Processes {
+			t.Errorf("%s: live processes %d not below total %d after kills",
+				name, res.LiveProcesses, res.Processes)
+		}
+		if res.Events != len(sc.Timeline) {
+			t.Errorf("%s: applied %d events, want %d", name, res.Events, len(sc.Timeline))
+		}
+	}
+}
+
+// TestPauseParksForegroundApp drives the looper lifecycle directly: after
+// PauseApp the app's main thread must park (Paused) and its surface leave
+// composition; after ResumeApp it must come back.
+func TestPauseParksForegroundApp(t *testing.T) {
+	k := kernel.New(kernel.Config{Quantum: sim.Millisecond, Seed: 1})
+	defer k.Shutdown()
+	sys := android.Boot(k)
+	w, err := apps.ByName("frozenbubble.main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := apps.LaunchAs(sys, w, "game", false)
+	k.Run(80 * sim.Millisecond)
+	if a.Paused() {
+		t.Fatal("app paused before any pause request")
+	}
+	// Drive the transition from a driver thread, as the engine does.
+	k.SpawnThread(sys.SystemServer, "driver", "driver", func(ex *kernel.Exec) {
+		ex.PushCode(sys.SystemServer.Layout.Text)
+		sys.PauseApp(ex, a)
+		ex.SleepFor(60 * sim.Millisecond)
+		sys.ResumeApp(ex, a)
+		ex.SleepFor(40 * sim.Millisecond)
+		sys.KillApp(ex, a)
+	})
+	k.Run(120 * sim.Millisecond)
+	if !a.Paused() {
+		t.Fatal("app not parked after PauseApp")
+	}
+	if a.Surface == nil || a.Surface.Visible {
+		t.Fatal("paused app's surface still visible")
+	}
+	k.Run(180 * sim.Millisecond)
+	if a.Paused() {
+		t.Fatal("app still parked after ResumeApp")
+	}
+	if !a.Surface.Visible {
+		t.Fatal("resumed app's surface not visible")
+	}
+	k.Run(260 * sim.Millisecond)
+	if !a.Dead || a.Proc.LiveThreads() != 0 {
+		t.Fatalf("killed app alive: dead=%v liveThreads=%d", a.Dead, a.Proc.LiveThreads())
+	}
+}

@@ -14,9 +14,12 @@ import (
 	"agave/internal/suite"
 )
 
-// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines with 2 seeds
-// and the full ablation sweep: 5 × 2 × 3 = 30 runs, above the 25-run bar the
-// engine must hold the guarantee at.
+// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 2 multi-app
+// scenarios with 2 seeds and the full ablation sweep: 7 × 2 × 3 = 42 runs,
+// above the 25-run bar the engine must hold the guarantee at. The scenario
+// axis is deliberately the lifecycle-heavy pair: concurrent live apps
+// (social-burst) and kill/relaunch churn (app-churn) are where scheduling
+// nondeterminism would surface first.
 func determinismPlan() suite.Plan {
 	return suite.Plan{
 		Benchmarks: []string{
@@ -25,6 +28,10 @@ func determinismPlan() suite.Plan {
 			"pm.apk.view",       // install workload, dexopt
 			"401.bzip2",         // SPEC baseline
 			"462.libquantum",    // SPEC baseline
+		},
+		Scenarios: []string{
+			"social-burst", // 4 concurrently-live apps
+			"app-churn",    // kill/relaunch lifecycle stress
 		},
 		Seeds:     []uint64{1, 7},
 		Ablations: suite.DefaultAblations,
@@ -40,7 +47,7 @@ func quickCfg() core.Config {
 
 func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
 	if testing.Short() {
-		t.Skip("30-run sweep")
+		t.Skip("42-run sweep")
 	}
 	plan := determinismPlan()
 	if plan.Size() < 25 {
@@ -141,5 +148,42 @@ func TestRunPlanUnknownBenchmark(t *testing.T) {
 	_, err := core.RunPlan(quickCfg(), plan, 4)
 	if err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestRunPlanUnknownScenario(t *testing.T) {
+	plan := suite.Plan{Scenarios: []string{"no-such-session"}}
+	_, err := core.RunPlan(quickCfg(), plan, 4)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestScenarioSpecsExpandAfterBenchmarks pins the plan order contract:
+// benchmarks first, then scenarios, each crossed with every seed and
+// ablation, with the scenario bit set and the "scenario:" display prefix.
+func TestScenarioSpecsExpandAfterBenchmarks(t *testing.T) {
+	plan := suite.Plan{
+		Benchmarks: []string{"countdown.main"},
+		Scenarios:  []string{"commute"},
+		Seeds:      []uint64{1, 2},
+	}
+	specs := plan.Specs()
+	if len(specs) != 4 || plan.Size() != 4 {
+		t.Fatalf("expanded %d specs (Size %d), want 4", len(specs), plan.Size())
+	}
+	for i, want := range []struct {
+		name     string
+		scenario bool
+	}{
+		{"countdown.main", false}, {"countdown.main", false},
+		{"commute", true}, {"commute", true},
+	} {
+		if specs[i].Benchmark != want.name || specs[i].Scenario != want.scenario {
+			t.Fatalf("spec %d = %+v, want %s scenario=%v", i, specs[i], want.name, want.scenario)
+		}
+	}
+	if got := specs[3].UnitName(); got != "scenario:commute" {
+		t.Fatalf("UnitName = %q", got)
 	}
 }

@@ -57,22 +57,27 @@ func (a Ablation) Label() string {
 	return a.Name
 }
 
-// Plan is a run matrix: every benchmark is run once per (seed, ablation)
-// pair. Empty Seeds defaults to {1}; empty Ablations defaults to {Baseline}.
+// Plan is a run matrix: every benchmark and every scenario is run once per
+// (seed, ablation) pair. Scenarios are a first-class axis alongside
+// benchmarks — a scripted multi-app session shards across the worker pool
+// exactly like a single-app run, under the same bit-identity guarantee.
+// Empty Seeds defaults to {1}; empty Ablations defaults to {Baseline}.
 type Plan struct {
 	Benchmarks []string
+	Scenarios  []string
 	Seeds      []uint64
 	Ablations  []Ablation
 }
 
 // Size reports how many runs the plan expands to.
 func (p Plan) Size() int {
-	return len(p.Benchmarks) * max(len(p.Seeds), 1) * max(len(p.Ablations), 1)
+	return (len(p.Benchmarks) + len(p.Scenarios)) * max(len(p.Seeds), 1) * max(len(p.Ablations), 1)
 }
 
-// Specs expands the plan into the deterministic run order: benchmark-major,
-// then seed, then ablation. This order — not completion order — is the order
-// results are collected and emitted in.
+// Specs expands the plan into the deterministic run order: benchmarks
+// first, then scenarios — each unit-major, then seed, then ablation. This
+// order — not completion order — is the order results are collected and
+// emitted in.
 func (p Plan) Specs() []RunSpec {
 	seeds := p.Seeds
 	if len(seeds) == 0 {
@@ -82,33 +87,53 @@ func (p Plan) Specs() []RunSpec {
 	if len(ablations) == 0 {
 		ablations = []Ablation{Baseline}
 	}
-	specs := make([]RunSpec, 0, len(p.Benchmarks)*len(seeds)*len(ablations))
-	for _, b := range p.Benchmarks {
+	specs := make([]RunSpec, 0, p.Size())
+	add := func(name string, scenario bool) {
 		for _, s := range seeds {
 			for _, a := range ablations {
 				specs = append(specs, RunSpec{
 					Index:     len(specs),
-					Benchmark: b,
+					Benchmark: name,
+					Scenario:  scenario,
 					Seed:      s,
 					Ablation:  a,
 				})
 			}
 		}
 	}
+	for _, b := range p.Benchmarks {
+		add(b, false)
+	}
+	for _, s := range p.Scenarios {
+		add(s, true)
+	}
 	return specs
 }
 
 // RunSpec identifies one run of a plan.
 type RunSpec struct {
-	Index     int // position in plan order
+	Index int // position in plan order
+	// Benchmark names the unit under run: a benchmark, or — when Scenario
+	// is set — a scripted multi-app scenario.
 	Benchmark string
+	Scenario  bool
 	Seed      uint64
 	Ablation  Ablation
 }
 
+// UnitName is the spec's display name: the benchmark name, or the scenario
+// name carrying a "scenario:" prefix so the two axes can never alias in
+// reports and summaries.
+func (s RunSpec) UnitName() string {
+	if s.Scenario {
+		return "scenario:" + s.Benchmark
+	}
+	return s.Benchmark
+}
+
 // String renders the spec as "benchmark/seed=N/ablation".
 func (s RunSpec) String() string {
-	return fmt.Sprintf("%s/seed=%d/%s", s.Benchmark, s.Seed, s.Ablation.Label())
+	return fmt.Sprintf("%s/seed=%d/%s", s.UnitName(), s.Seed, s.Ablation.Label())
 }
 
 // RunOutput is one completed run: the caller's result payload plus the
@@ -305,7 +330,7 @@ func Summarize[R any](outputs []RunOutput[R], metrics func(R) map[string]float64
 		if o.Err != nil {
 			continue
 		}
-		c := cell{o.Spec.Benchmark, o.Spec.Ablation.Label()}
+		c := cell{o.Spec.UnitName(), o.Spec.Ablation.Label()}
 		i, ok := index[c]
 		if !ok {
 			i = len(summaries)
