@@ -196,6 +196,28 @@ func BenchmarkScenario(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioPressure runs the memory-pressure sessions end to end:
+// emergent lowmemorykiller kills under escalating pressure (memory-storm)
+// and the trim-then-evict ladder (cached-app-eviction). Reported metrics pin
+// the pressure outcome — kills, trims, and total references — so the bench
+// trajectory tracks both the engine's speed and the subsystem's behavior.
+func BenchmarkScenarioPressure(b *testing.B) {
+	for _, name := range []string{"memory-storm", "cached-app-eviction"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := core.RunScenario(name, benchConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := r.Session
+				b.ReportMetric(float64(s.LMKKills), "lmk_kills")
+				b.ReportMetric(float64(s.Trims), "trims")
+				b.ReportMetric(float64(r.Stats.Total()), "total_refs")
+			}
+		})
+	}
+}
+
 // --- ablation benches (design choices called out in DESIGN.md §6) ---
 
 // BenchmarkAblationJIT contrasts trace-JIT on/off: the share of instruction

@@ -36,9 +36,16 @@
 //
 // The scenario subcommand runs scripted multi-app sessions: apps launch,
 // switch, background, and die on a deterministic timeline while every
-// reference is attributed per process. Scenario reports carry no wall-clock
-// columns, so the same plan and seed emit byte-identical bytes at any
-// -parallel value.
+// reference is attributed per process. Scenario machines run the
+// memory-pressure model: a global physical-page budget, onTrimMemory
+// broadcasts when free pages run low, and a lowmemorykiller that evicts
+// processes by oom_adj score — so Pressure events in a timeline produce
+// emergent kills the report's lmk columns account for:
+//
+//	-minfree N       cached-app kill waterline in pages (0 = 8192 = 32 MB)
+//
+// Scenario reports carry no wall-clock columns, so the same plan and seed
+// emit byte-identical bytes at any -parallel value.
 package main
 
 import (
@@ -72,9 +79,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	durationMS := fs.Uint64("duration", 1000, "measured simulated milliseconds")
-	warmupMS := fs.Uint64("warmup", 300, "warmup simulated milliseconds")
+	durationMS := fs.Int64("duration", 1000, "measured simulated milliseconds")
+	warmupMS := fs.Int64("warmup", 300, "warmup simulated milliseconds")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	minFree := fs.Uint64("minfree", 0, "lowmemorykiller cached-kill waterline in pages (scenario runs; 0 = default)")
 	format := fs.String("format", "table", "figure output: table, csv, bars")
 	benchList := fs.String("bench", "", "comma-separated benchmark subset")
 	noJIT := fs.Bool("nojit", false, "disable the trace JIT")
@@ -155,6 +163,17 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		names = strings.Split(*benchList, ",")
 	}
 
+	// An empty or negative measured interval is a configuration mistake,
+	// never a measurement: fail loudly instead of emitting all-zero counters.
+	if *durationMS <= 0 {
+		fmt.Fprintf(stderr, "agave %s: -duration must be a positive number of milliseconds (got %d)\n", cmd, *durationMS)
+		return 2
+	}
+	if *warmupMS < 0 {
+		fmt.Fprintf(stderr, "agave %s: -warmup must not be negative (got %d)\n", cmd, *warmupMS)
+		return 2
+	}
+
 	cfg := core.Config{
 		Seed:                 *seed,
 		Duration:             sim.Ticks(*durationMS) * sim.Millisecond,
@@ -162,6 +181,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		Quantum:              sim.Millisecond,
 		DisableJIT:           *noJIT,
 		DirtyRectComposition: *dirtyRect,
+		MinFreePages:         *minFree,
 	}
 
 	if cmd == "suite" || cmd == "scenario" {

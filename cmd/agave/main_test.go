@@ -46,6 +46,38 @@ func TestBadFlagIsUsageError(t *testing.T) {
 	}
 }
 
+// TestRejectsNonPositiveDuration is the satellite regression table: every
+// simulating subcommand must refuse an empty or negative measured interval
+// with a clear message instead of silently measuring nothing.
+func TestRejectsNonPositiveDuration(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"run zero", []string{"run", "countdown.main", "-duration", "0"}},
+		{"run negative", []string{"run", "countdown.main", "-duration", "-5"}},
+		{"suite zero", []string{"suite", "-bench", "countdown.main", "-duration", "0"}},
+		{"suite negative", []string{"suite", "-bench", "countdown.main", "-duration", "-100"}},
+		{"scenario zero", []string{"scenario", "commute", "-duration", "0"}},
+		{"scenario negative", []string{"scenario", "commute", "-duration", "-1"}},
+		{"fig1 zero", []string{"fig1", "-bench", "countdown.main", "-duration", "0"}},
+		{"table1 negative", []string{"table1", "-bench", "countdown.main", "-duration", "-7"}},
+		{"scalars zero", []string{"scalars", "-bench", "countdown.main", "-duration", "0"}},
+		{"all negative", []string{"all", "-bench", "countdown.main", "-duration", "-9"}},
+	}
+	for _, tc := range cases {
+		code, _, errOut := invoke(t, tc.args...)
+		if code != 2 || !strings.Contains(errOut, "-duration must be a positive number") {
+			t.Errorf("%s: code=%d stderr=%q", tc.name, code, errOut)
+		}
+	}
+	// Negative warmup is equally meaningless.
+	code, _, errOut := invoke(t, "run", "countdown.main", "-duration", "50", "-warmup", "-1")
+	if code != 2 || !strings.Contains(errOut, "-warmup must not be negative") {
+		t.Errorf("negative warmup: code=%d stderr=%q", code, errOut)
+	}
+}
+
 func TestRunUnknownBenchmarkFails(t *testing.T) {
 	code, _, errOut := invoke(t, "run", "no.such.bench")
 	if code != 1 || !strings.Contains(errOut, "no.such.bench") {
@@ -328,6 +360,70 @@ func TestScenarioJSON(t *testing.T) {
 	}
 	if strings.Contains(out, "wall_ms") {
 		t.Fatal("scenario JSON leaks wall-clock fields")
+	}
+}
+
+// TestScenarioPressureColumnsAndMinFree runs the emergent-kill scenario
+// through the CLI: the matrix must carry the lmk/trims columns and name the
+// victims, and the -minfree knob must plumb through (an absurdly raised
+// waterline turns an otherwise-safe session into a kill zone).
+func TestScenarioPressureColumnsAndMinFree(t *testing.T) {
+	args := append([]string{"scenario", "memory-storm"}, "-duration", "150", "-warmup", "100")
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "lmk") || !strings.Contains(out, "trims") {
+		t.Fatalf("scenario matrix missing pressure columns:\n%s", out)
+	}
+	if !strings.Contains(out, "lmk victims:") {
+		t.Fatalf("memory-storm reported no victims:\n%s", out)
+	}
+	// commute never comes under default pressure...
+	args = append([]string{"scenario", "commute"}, "-duration", "150", "-warmup", "100")
+	code, out, errOut = invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("commute: code=%d stderr=%q", code, errOut)
+	}
+	if strings.Contains(out, "lmk victims:") {
+		t.Fatalf("commute killed under the default waterline:\n%s", out)
+	}
+	// ...but a raised -minfree waterline makes the same session lethal.
+	args = append([]string{"scenario", "commute", "-minfree", "200000"}, "-duration", "150", "-warmup", "100")
+	code, out, errOut = invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("minfree=200000: code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "lmk victims:") {
+		t.Fatalf("-minfree 200000 produced no victims:\n%s", out)
+	}
+}
+
+// TestScenarioJSONCarriesPressureFields: the JSON document exposes the
+// kill/trim counters and the victim list.
+func TestScenarioJSONCarriesPressureFields(t *testing.T) {
+	args := append([]string{"scenario", "memory-storm", "-json"}, "-duration", "150", "-warmup", "100")
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	var doc struct {
+		Runs []struct {
+			Scenario   string   `json:"scenario"`
+			LMKKills   int      `json:"lmk_kills"`
+			LMKVictims []string `json:"lmk_victims"`
+			Trims      int      `json:"trims"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs", len(doc.Runs))
+	}
+	r := doc.Runs[0]
+	if r.LMKKills < 1 || len(r.LMKVictims) != r.LMKKills || r.Trims < 1 {
+		t.Fatalf("pressure fields malformed: %+v", r)
 	}
 }
 

@@ -15,7 +15,8 @@
 //	-baseline FILE   compare ns/op against this JSON snapshot
 //	-threshold 0.25  allowed fractional ns/op growth before failing
 //
-// Exit status: 0 ok, 1 regression past the threshold (or baseline unreadable),
+// Exit status: 0 ok, 1 regression past the threshold (or baseline unreadable,
+// or a baseline entry has a non-positive ns/op and is incomparable),
 // 2 usage/parse error.
 //
 // Benchmarks present only in the run (new) or only in the baseline
@@ -142,10 +143,16 @@ type Delta struct {
 	Cur       float64 // current ns/op
 	Growth    float64 // (Cur-Base)/Base
 	Regressed bool
+	// Incomparable marks a baseline entry with a non-positive ns/op: a
+	// growth ratio against it would be NaN/Inf, so the entry is reported
+	// as broken instead of silently passing the gate.
+	Incomparable bool
 }
 
 // compare evaluates cur against base: every shared benchmark whose ns/op
-// grew beyond threshold is a regression.
+// grew beyond threshold is a regression. Shared benchmarks whose baseline
+// ns/op is zero (a corrupt or hand-edited snapshot) are flagged
+// incomparable rather than given a free pass.
 func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, baseOnly []string) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
@@ -162,8 +169,10 @@ func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, b
 		d := Delta{Name: c.Name, Base: b.NsPerOp, Cur: c.NsPerOp}
 		if b.NsPerOp > 0 {
 			d.Growth = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+			d.Regressed = d.Growth > threshold
+		} else {
+			d.Incomparable = true
 		}
-		d.Regressed = d.Growth > threshold
 		deltas = append(deltas, d)
 	}
 	for _, b := range base.Benchmarks {
@@ -236,8 +245,14 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	deltas, newOnly, baseOnly := compare(&base, cur, *threshold)
-	failed := 0
+	failed, incomparable := 0, 0
 	for _, d := range deltas {
+		if d.Incomparable {
+			incomparable++
+			fmt.Fprintf(stdout, "%-40s %14.0f -> %14.0f ns/op  INCOMPARABLE (baseline ns/op not positive)\n",
+				d.Name, d.Base, d.Cur)
+			continue
+		}
 		status := "ok"
 		if d.Regressed {
 			status = "REGRESSED"
@@ -255,6 +270,13 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if failed > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% vs %s\n",
 			failed, *threshold*100, *baseline)
+		return 1
+	}
+	if incomparable > 0 {
+		// A broken baseline entry must not pass silently: refresh the
+		// baseline snapshot rather than trusting a meaningless ratio.
+		fmt.Fprintf(stderr, "benchdiff: %d baseline entr(ies) in %s have non-positive ns/op and cannot gate anything\n",
+			incomparable, *baseline)
 		return 1
 	}
 	fmt.Fprintf(stdout, "benchdiff: %d benchmarks within %.0f%% of baseline\n",

@@ -102,6 +102,72 @@ func TestCompareFlagsOnlyRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareZeroBaselineIsIncomparable is the divide-by-zero regression
+// test: a baseline entry with ns/op == 0 used to produce a 0-growth delta
+// (NaN/Inf territory avoided by skipping the division) that silently passed
+// the gate. Such entries are now flagged incomparable, never ok.
+func TestCompareZeroBaselineIsIncomparable(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "Broken", NsPerOp: 0},
+		{Name: "Fine", NsPerOp: 1000},
+	}}
+	cur := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "Broken", NsPerOp: 5e9}, // a huge "regression" vs nothing
+		{Name: "Fine", NsPerOp: 1000},
+	}}
+	deltas, _, _ := compare(base, cur, 0.25)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	for _, d := range deltas {
+		switch d.Name {
+		case "Broken":
+			if !d.Incomparable {
+				t.Fatalf("zero-baseline entry not flagged incomparable: %+v", d)
+			}
+			if d.Regressed {
+				t.Fatalf("incomparable entry also counted as regression: %+v", d)
+			}
+			if math.IsNaN(d.Growth) || math.IsInf(d.Growth, 0) {
+				t.Fatalf("growth is not finite: %+v", d)
+			}
+		case "Fine":
+			if d.Incomparable || d.Regressed {
+				t.Fatalf("healthy entry misflagged: %+v", d)
+			}
+		}
+	}
+}
+
+// TestMainZeroBaselineFailsTheGate: end to end, a corrupt baseline entry is
+// reported and fails the run instead of passing silently.
+func TestMainZeroBaselineFailsTheGate(t *testing.T) {
+	dir := t.TempDir()
+	baseFile := filepath.Join(dir, "BENCH_baseline.json")
+	broken := Snapshot{Benchmarks: []Benchmark{
+		{Name: "SuiteSerial", NsPerOp: 0, Iterations: 1},
+		{Name: "SuiteParallel", NsPerOp: 3e8, Iterations: 1},
+		{Name: "Scenario/social-burst", NsPerOp: 2.36e8, Iterations: 1},
+	}}
+	data, err := json.MarshalIndent(broken, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := invoke(t, sampleOutput, "-baseline", baseFile)
+	if code != 1 {
+		t.Fatalf("corrupt baseline passed: code=%d\n%s", code, out)
+	}
+	if !strings.Contains(out, "INCOMPARABLE") {
+		t.Fatalf("incomparable entry not reported:\n%s", out)
+	}
+	if !strings.Contains(errOut, "non-positive ns/op") {
+		t.Fatalf("stderr does not explain the failure: %q", errOut)
+	}
+}
+
 // invoke runs one benchdiff invocation against an input string.
 func invoke(t *testing.T, input string, args ...string) (int, string, string) {
 	t.Helper()

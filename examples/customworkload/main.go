@@ -39,8 +39,11 @@ done:
 `
 
 func main() {
-	durationMS := flag.Uint64("duration", 1000, "simulated milliseconds to run")
+	durationMS := flag.Int64("duration", 1000, "simulated milliseconds to run")
 	flag.Parse()
+	if *durationMS <= 0 {
+		log.Fatalf("-duration must be a positive number of milliseconds (got %d)", *durationMS)
+	}
 	k := kernel.New(kernel.Config{Quantum: sim.Millisecond, Seed: 7})
 	defer k.Shutdown()
 	sys := android.Boot(k)

@@ -22,8 +22,11 @@ import (
 )
 
 func main() {
-	durationMS := flag.Uint64("duration", 800, "measured simulated milliseconds per run")
+	durationMS := flag.Int64("duration", 800, "measured simulated milliseconds per run")
 	flag.Parse()
+	if *durationMS <= 0 {
+		log.Fatalf("-duration must be a positive number of milliseconds (got %d)", *durationMS)
+	}
 	cfg := core.DefaultConfig()
 	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond
 

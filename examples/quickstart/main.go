@@ -14,8 +14,11 @@ import (
 )
 
 func main() {
-	durationMS := flag.Uint64("duration", 600, "measured simulated milliseconds")
+	durationMS := flag.Int64("duration", 600, "measured simulated milliseconds")
 	flag.Parse()
+	if *durationMS <= 0 {
+		log.Fatalf("-duration must be a positive number of milliseconds (got %d)", *durationMS)
+	}
 	cfg := core.DefaultConfig()
 	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond // default keeps the demo snappy
 

@@ -16,8 +16,11 @@ import (
 )
 
 func main() {
-	durationMS := flag.Uint64("duration", 300, "measured simulated milliseconds per run")
+	durationMS := flag.Int64("duration", 300, "measured simulated milliseconds per run")
 	flag.Parse()
+	if *durationMS <= 0 {
+		log.Fatalf("-duration must be a positive number of milliseconds (got %d)", *durationMS)
+	}
 	cfg := core.DefaultConfig()
 	cfg.Duration = sim.Ticks(*durationMS) * sim.Millisecond // default keeps the demo snappy
 	cfg.Warmup = 200 * sim.Millisecond

@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"agave/internal/android"
 	"agave/internal/apps"
@@ -16,8 +17,11 @@ import (
 )
 
 func main() {
-	durationMS := flag.Uint64("duration", 500, "simulated milliseconds to run")
+	durationMS := flag.Int64("duration", 500, "simulated milliseconds to run")
 	flag.Parse()
+	if *durationMS <= 0 {
+		log.Fatalf("-duration must be a positive number of milliseconds (got %d)", *durationMS)
+	}
 	k := kernel.New(kernel.Config{Quantum: sim.Millisecond, Seed: 3})
 	defer k.Shutdown()
 

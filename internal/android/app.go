@@ -82,6 +82,9 @@ type App struct {
 	workerSeq int
 	anon      map[string]*mem.VMA
 	paused    bool
+	// trimmed latches one onTrimMemory per pressure episode; the memory
+	// monitor re-arms it when free pages recover.
+	trimmed bool
 }
 
 // sharedAssets are system-wide files every app maps; the names are shared
@@ -156,6 +159,7 @@ func (sys *System) NewApp(cfg AppConfig) *App {
 	for i := 0; i < cfg.Helpers; i++ {
 		sys.spawnHelper(a, i)
 	}
+	sys.registerApp(a)
 	return a
 }
 
@@ -194,6 +198,7 @@ func indexByte(s string, b byte) int {
 // process's main thread after its package.
 func (a *App) Start(body func(ex *kernel.Exec, a *App)) {
 	a.mainBody = body
+	a.Sys.noteLaunched(a)
 	a.Sys.K.SpawnThread(a.Proc, "main", a.Cfg.Label, func(ex *kernel.Exec) {
 		ex.PushCode(a.Proc.Layout.Text)
 		a.frameworkDexFor(ex)

@@ -11,6 +11,10 @@ import (
 const (
 	msgPause  = 101
 	msgResume = 102
+	// msgTrim is an onTrimMemory callback; Arg carries the severity level.
+	// Unlike pause/resume it is handled even while the activity is parked
+	// in its looper — cached apps are exactly the ones asked to shrink.
+	msgTrim = 103
 )
 
 // PausePoint is the main thread's lifecycle gate: workload bodies reach it
@@ -38,18 +42,34 @@ func (a *App) dispatchLifecycle(ex *kernel.Exec, m Message) {
 	switch m.What {
 	case msgPause:
 		a.onPause(ex)
-		// Park in the looper until resumed. Non-lifecycle messages and
-		// redundant pauses are consumed and dropped, as a real paused
-		// activity ignores stale UI traffic.
+		// Park in the looper until resumed. Trim requests are honoured
+		// even while parked; other non-lifecycle messages and redundant
+		// pauses are consumed and dropped, as a real paused activity
+		// ignores stale UI traffic.
 		for {
 			next := ex.Recv(a.Looper.q).(Message)
-			if next.What == msgResume {
+			switch next.What {
+			case msgResume:
 				a.onResume(ex)
 				return
+			case msgTrim:
+				a.onTrimMemory(ex, int(next.Arg))
 			}
 		}
 	case msgResume:
 		// Resume while already resumed: stale message, drop it.
+	case msgTrim:
+		a.onTrimMemory(ex, int(m.Arg))
+	}
+}
+
+// onTrimMemory is the app's ComponentCallbacks2 response: framework bytecode
+// for the callback dispatch, then the dalvik heap gives its free tail back
+// to the machine — the cooperative half of surviving memory pressure.
+func (a *App) onTrimMemory(ex *kernel.Exec, level int) {
+	a.VM.InterpBulk(ex, a.frameworkDexFor(ex), 1800, false)
+	if level >= TrimBackground {
+		a.VM.TrimMemory(ex)
 	}
 }
 
@@ -90,6 +110,7 @@ func (sys *System) PauseApp(ex *kernel.Exec, a *App) {
 	if _, err := sys.Binder.Call(ex, "activity", 3, lifecycleParcel(a.Cfg.Label, "pause")); err != nil {
 		panic(err)
 	}
+	sys.notePaused(a)
 	a.Looper.Post(ex, Message{What: msgPause})
 }
 
@@ -102,6 +123,7 @@ func (sys *System) ResumeApp(ex *kernel.Exec, a *App) {
 	if _, err := sys.Binder.Call(ex, "activity", 2, lifecycleParcel(a.Cfg.Label, "resume")); err != nil {
 		panic(err)
 	}
+	sys.noteResumed(a)
 	a.Looper.Post(ex, Message{What: msgResume})
 }
 
@@ -131,6 +153,7 @@ func (sys *System) KillApp(ex *kernel.Exec, a *App) {
 	for _, h := range a.HelperProcs {
 		sys.K.KillProcess(h)
 	}
+	sys.noteDead(a)
 	// Kernel-side exit bookkeeping: task teardown, address-space unmap.
 	ex.Syscall(6000, 1500)
 }

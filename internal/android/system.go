@@ -40,7 +40,25 @@ type System struct {
 	// launcherHidden is sticky: a fullscreen app may request hiding
 	// before the launcher has finished creating its surface.
 	launcherHidden bool
+
+	// ActivityManager process records: every app ever created, the
+	// current foreground activity, and the cached-app LRU (most recent
+	// first) the oom_adj ladder is computed from.
+	amApps       []*App
+	amForeground *App
+	amCached     []*App
+
+	// servicesDex is system_server's framework image, kept for the
+	// memory-management threads' bookkeeping work.
+	servicesDex *dalvik.LoadedDex
+
+	// trims counts onTrimMemory callbacks delivered to apps.
+	trims int
 }
+
+// Trims reports how many onTrimMemory callbacks the ActivityManager has
+// delivered this run.
+func (sys *System) Trims() int { return sys.trims }
 
 // nativeDaemons is the resident daemon population of a Gingerbread device;
 // together with init/servicemanager/zygote/system_server/mediaserver and the
@@ -123,6 +141,9 @@ func Boot(k *kernel.Kernel) *System {
 		Foreground: true, AsyncWorkers: 1, StatusBar: true,
 	})
 	sys.SystemUI.Start(systemUIMain)
+	if k.LMKEnabled() {
+		sys.startMemoryManagement()
+	}
 	return sys
 }
 
@@ -133,6 +154,7 @@ func (sys *System) startCoreServices(ssLM *loader.LinkMap) {
 	ss := sys.SystemServer
 	vm := sys.SystemServerVM
 	servicesDex := vm.Adopt(dalvik.StockDex("services.jar"), ssLM.VMA("services.jar@classes.dex"))
+	sys.servicesDex = servicesDex
 
 	frameworkCall := func(cost uint64) binder.Handler {
 		return func(ex *kernel.Exec, txn *binder.Transaction) {

@@ -42,6 +42,11 @@ type Config struct {
 	// DirtyRectComposition switches SurfaceFlinger to composing only
 	// posted surfaces (ablation A3).
 	DirtyRectComposition bool
+	// MinFreePages tunes the lowmemorykiller's cached-app kill waterline
+	// for scenario runs, in physical pages (0 = the 32 MB default). The
+	// memory-pressure model applies to multi-app scenarios only;
+	// single-app benchmark runs measure an unconstrained machine.
+	MinFreePages uint64
 }
 
 // DefaultConfig is the configuration used for the EXPERIMENTS.md numbers:
@@ -170,6 +175,7 @@ func RunScenario(name string, cfg Config) (*Result, error) {
 		Quantum:              cfg.Quantum,
 		DisableJIT:           cfg.DisableJIT,
 		DirtyRectComposition: cfg.DirtyRectComposition,
+		MinFreePages:         cfg.MinFreePages,
 	})
 	if err != nil {
 		return nil, err
@@ -262,6 +268,10 @@ func SuiteMetrics(r *Result) map[string]float64 {
 	}
 	if r.IsSPEC {
 		m["checksum"] = float64(r.Checksum)
+	}
+	if r.Session != nil {
+		m["lmk_kills"] = float64(r.Session.LMKKills)
+		m["trims"] = float64(r.Session.Trims)
 	}
 	return m
 }

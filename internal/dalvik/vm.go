@@ -75,8 +75,10 @@ type VM struct {
 	JITEnabled bool
 
 	heapTop      uint64
+	heapCommit   uint64 // bytes of HeapVMA currently resident (>= heapTop)
 	allocSinceGC uint64
 	gcRuns       uint64
+	trimsDone    uint64
 
 	gcQueue      *kernel.MsgQueue
 	compileQueue *kernel.MsgQueue
@@ -126,6 +128,7 @@ func Attach(proc *kernel.Process, lm *loader.LinkMap, services bool) *VM {
 	vm.JITVMA = proc.AS.MapAnywhere(mem.MmapBase, JITCacheSize, mem.RegionJITCache,
 		mem.PermRead|mem.PermWrite|mem.PermExec, mem.ClassRuntime)
 	vm.heapTop = 16 // offset 0 is reserved so 0 can mean null
+	vm.heapCommit = vm.HeapVMA.Size()
 	vm.gcQueue = k.NewMsgQueue(proc.Name + ".gc")
 	vm.compileQueue = k.NewMsgQueue(proc.Name + ".jit")
 	if services {
@@ -255,6 +258,7 @@ func ForkVM(parent *VM, child *kernel.Process, services bool) *VM {
 			codeOff: d.codeOff,
 		}
 	}
+	vm.heapCommit = vm.HeapVMA.ResidentBytes()
 	vm.gcQueue = k.NewMsgQueue(child.Name + ".gc")
 	vm.compileQueue = k.NewMsgQueue(child.Name + ".jit")
 	if services {
@@ -265,6 +269,43 @@ func ForkVM(parent *VM, child *kernel.Process, services bool) *VM {
 
 // GCRuns reports completed collection cycles (for tests and ablations).
 func (vm *VM) GCRuns() uint64 { return vm.gcRuns }
+
+// Trims reports completed TrimMemory passes.
+func (vm *VM) Trims() uint64 { return vm.trimsDone }
+
+// HeapResidentBytes reports how many bytes of the dalvik heap currently pin
+// physical pages.
+func (vm *VM) HeapResidentBytes() uint64 { return vm.heapCommit }
+
+// trimSlack is how much headroom above the live bump pointer a trim keeps
+// committed, so the next few allocations do not immediately fault pages
+// back in.
+const trimSlack = 1 << 20
+
+// TrimMemory is the app side of onTrimMemory(TRIM_MEMORY_*): a collection
+// pass over the live set, then madvise(MADV_DONTNEED) on everything above
+// it, so a backgrounded app's dalvik heap stops holding physical pages it is
+// not using. It returns the bytes released to the machine-wide budget.
+func (vm *VM) TrimMemory(ex *kernel.Exec) uint64 {
+	ex.InCode(vm.LibDVM, func() {
+		// Mark the live prefix and madvise the tail: cheaper than a full
+		// GC cycle, charged against the heap it walks.
+		used := vm.heapTop
+		if used > vm.HeapVMA.Size() {
+			used = vm.HeapVMA.Size()
+		}
+		ex.Do(kernel.Work{Fetch: 3, Reads: 1, Data: vm.HeapVMA}, used/16)
+		ex.Syscall(900, 250) // madvise
+	})
+	keep := vm.heapTop + trimSlack
+	if keep >= vm.heapCommit {
+		return 0
+	}
+	released := vm.Proc.AS.Discard(vm.HeapVMA, vm.heapCommit-keep)
+	vm.heapCommit -= released
+	vm.trimsDone++
+	return released
+}
 
 // CompilesDone reports completed JIT compilations.
 func (vm *VM) CompilesDone() uint64 { return vm.compilesDone }
@@ -286,6 +327,11 @@ func (vm *VM) alloc(ex *kernel.Exec, n uint64) uint64 {
 	}
 	off := vm.heapTop
 	vm.heapTop += n
+	if vm.heapTop > vm.heapCommit {
+		// First touch past a trimmed high-water mark: the discarded pages
+		// fault back in and re-enter the machine-wide resident set.
+		vm.heapCommit += vm.Proc.AS.Commit(vm.HeapVMA, vm.heapTop-vm.heapCommit)
+	}
 	ex.Do(kernel.Work{Fetch: 1, Writes: 1, Data: vm.HeapVMA}, n/8+2)
 	vm.allocSinceGC += n
 	if vm.allocSinceGC >= gcThreshold {

@@ -17,6 +17,15 @@ type Config struct {
 	// IdleRefDivisor controls how many kernel references the swapper idle
 	// loop generates: one instruction fetch per IdleRefDivisor idle ticks.
 	IdleRefDivisor sim.Ticks
+	// MemPages is the machine's physical page budget. Resident pages are
+	// always accounted; a zero budget leaves the machine effectively
+	// infinite, so nothing is ever short of memory.
+	MemPages uint64
+	// MinFree is the lowmemorykiller threshold ladder. When both MemPages
+	// and MinFree are set, New spawns the kswapd0 kernel thread that kills
+	// the worst oom_adj process whenever free pages fall below a rung.
+	// Empty disables the killer.
+	MinFree []MinFree
 }
 
 // DefaultConfig mirrors a HZ=1000ish Gingerbread kernel: 1 ms quanta.
@@ -55,6 +64,13 @@ type Kernel struct {
 	// thread.
 	Disk *BlockDevice
 
+	// usedPages is the machine-wide resident set (every live process's
+	// countable pages); balloonPages is the extra demand Pressure events
+	// inject. Free memory is MemPages minus both.
+	usedPages    uint64
+	balloonPages uint64
+	lmk          lmkState
+
 	stopping bool
 }
 
@@ -86,7 +102,48 @@ func New(cfg Config) *Kernel {
 	k.nextTID++
 	k.Swapper.Threads = append(k.Swapper.Threads, k.swapT)
 	k.Disk = newBlockDevice(k)
+	if k.LMKEnabled() {
+		k.startLMK()
+	}
 	return k
+}
+
+// addResidentPages applies a machine-wide resident-page delta (saturating
+// at zero). Every process address space reports its mutations here.
+func (k *Kernel) addResidentPages(delta int64) {
+	if delta < 0 && uint64(-delta) > k.usedPages {
+		k.usedPages = 0
+		return
+	}
+	k.usedPages = uint64(int64(k.usedPages) + delta)
+}
+
+// UsedPages reports the machine-wide resident set in pages (excluding the
+// pressure balloon).
+func (k *Kernel) UsedPages() uint64 { return k.usedPages }
+
+// FreePages reports how many pages of the physical budget remain. With no
+// budget configured the machine is effectively infinite.
+func (k *Kernel) FreePages() uint64 {
+	if k.Cfg.MemPages == 0 {
+		return ^uint64(0)
+	}
+	used := k.usedPages + k.balloonPages
+	if used >= k.Cfg.MemPages {
+		return 0
+	}
+	return k.Cfg.MemPages - used
+}
+
+// Balloon inflates (positive) or deflates (negative) the external memory
+// demand — the scenario engine's Pressure events model "the rest of the
+// device wants memory" without attributing it to any process.
+func (k *Kernel) Balloon(deltaPages int64) {
+	if deltaPages < 0 && uint64(-deltaPages) > k.balloonPages {
+		k.balloonPages = 0
+		return
+	}
+	k.balloonPages = uint64(int64(k.balloonPages) + deltaPages)
 }
 
 // RNG returns the kernel's root random source.

@@ -41,10 +41,18 @@ type Process struct {
 	// RNG is the process-private deterministic random source.
 	RNG *sim.RNG
 
+	// OomAdj is the lowmemorykiller badness score the ActivityManager
+	// model assigns (higher = killed sooner). Processes start at
+	// OomNeverKill: only the framework volunteers its apps.
+	OomAdj int
+
 	Threads []*Thread
 
 	kern    *Kernel
 	nextTID int
+	// memReleased marks a dead process whose resident pages have been
+	// returned to the machine-wide budget.
+	memReleased bool
 }
 
 // Kernel returns the owning kernel.
@@ -115,8 +123,10 @@ func (k *Kernel) newBareProcess(name string) *Process {
 		AS:     mem.NewAddressSpace(k.Stats),
 		StatID: k.Stats.Proc(name),
 		RNG:    k.rng.Fork(),
+		OomAdj: OomNeverKill,
 		kern:   k,
 	}
+	p.AS.OnResident = k.addResidentPages
 	k.nextPID++
 	k.procs = append(k.procs, p)
 	return p
@@ -145,9 +155,12 @@ func (k *Kernel) Fork(parent *Process, name string) *Process {
 		AS:     parent.AS.Clone(),
 		StatID: k.Stats.Proc(name),
 		RNG:    k.rng.Fork(),
+		OomAdj: OomNeverKill,
 		kern:   k,
 		Parent: parent,
 	}
+	child.AS.OnResident = k.addResidentPages
+	k.addResidentPages(int64(child.AS.ResidentPages()))
 	k.nextPID++
 	child.Layout = &mem.Layout{
 		Text:    child.AS.FindByName(mem.RegionAppBinary),
@@ -178,6 +191,19 @@ func (k *Kernel) KillProcess(p *Process) {
 		t.ctx.Kill()
 		t.State = StateExited
 	}
+	k.releaseProcessMemory(p)
+}
+
+// releaseProcessMemory returns a dead process's resident pages to the
+// machine-wide budget, once. The address space stays inspectable but stops
+// feeding the budget.
+func (k *Kernel) releaseProcessMemory(p *Process) {
+	if p.memReleased {
+		return
+	}
+	p.memReleased = true
+	p.AS.OnResident = nil
+	k.addResidentPages(-int64(p.AS.ResidentPages()))
 }
 
 // LiveProcessCount counts processes that still have at least one live

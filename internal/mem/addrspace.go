@@ -9,11 +9,28 @@ import (
 
 // AddressSpace is one process's virtual memory map: a sorted, non-overlapping
 // set of VMAs plus the brk pointer for the classic heap.
+//
+// The address space also keeps the resident-set accounting the kernel's
+// memory-pressure model is fed by: every Map/Unmap/Brk/Discard/Commit updates
+// a per-class page count, and the OnResident hook reports the delta to the
+// owner (the kernel's global physical-page budget). Only writable non-kernel
+// mappings count — read-only file pages are evictable cache and the kernel
+// direct map is shared physical memory, so neither pins pages. Shared
+// writable mappings (ashmem, gralloc) count once per address space that maps
+// them, a deliberate simplification.
 type AddressSpace struct {
 	vmas []*VMA // sorted by Start
 	brk  Addr   // current program break (top of the "heap" VMA)
 
 	collector *stats.Collector
+
+	// OnResident, when non-nil, observes every resident-page delta. The
+	// kernel attaches it so process mappings feed the machine-wide page
+	// budget; leave nil for standalone spaces.
+	OnResident func(deltaPages int64)
+
+	residentPages uint64
+	classPages    [ClassRuntime + 1]uint64
 
 	// lookup cache: the last VMA hit. Valid because the simulator advances
 	// one thread at a time.
@@ -28,6 +45,52 @@ func NewAddressSpace(c *stats.Collector) *AddressSpace {
 
 // Collector exposes the stats collector used for region interning.
 func (as *AddressSpace) Collector() *stats.Collector { return as.collector }
+
+// ResidentPages reports the pressure-relevant resident set of the whole
+// address space, in pages.
+func (as *AddressSpace) ResidentPages() uint64 { return as.residentPages }
+
+// ResidentPagesByClass reports the resident pages of one region class.
+func (as *AddressSpace) ResidentPagesByClass(c Class) uint64 {
+	if int(c) >= len(as.classPages) {
+		return 0
+	}
+	return as.classPages[c]
+}
+
+// countable reports whether a mapping pins physical pages in the pressure
+// model: writable (dirty-able) and not the shared kernel image.
+func countable(v *VMA) bool {
+	return v.Perms&PermWrite != 0 && v.Class != ClassKernel
+}
+
+// addResident applies a resident-byte delta to v and to the per-class and
+// whole-space page counts, reporting the page delta through OnResident.
+// deltaBytes must be page-aligned.
+func (as *AddressSpace) addResident(v *VMA, deltaBytes int64) {
+	if deltaBytes == 0 || !countable(v) {
+		return
+	}
+	pages := deltaBytes / PageSize
+	v.resident = uint64(int64(v.resident) + deltaBytes)
+	as.residentPages = uint64(int64(as.residentPages) + pages)
+	if int(v.Class) < len(as.classPages) {
+		as.classPages[v.Class] = uint64(int64(as.classPages[v.Class]) + pages)
+	}
+	if as.OnResident != nil {
+		as.OnResident(pages)
+	}
+}
+
+// invalidate drops the lookup cache when a mutation touches [start, end).
+// Every mutation of the map (Map, Unmap, Brk) funnels through this, so the
+// cache can never outlive a VMA whose range it covers: a freed-and-remapped
+// range always resolves through the authoritative sorted slice.
+func (as *AddressSpace) invalidate(start, end Addr) {
+	if as.last != nil && as.last.Start < end && start < as.last.End {
+		as.last = nil
+	}
+}
 
 // Map installs a VMA covering [start, start+size). size is rounded up to a
 // whole number of pages. It returns an error if the range overlaps an
@@ -50,6 +113,8 @@ func (as *AddressSpace) Map(start Addr, size uint64, name string, perms Perm, cl
 		Region: as.collector.Region(name),
 	}
 	as.insert(v)
+	as.invalidate(v.Start, v.End)
+	as.addResident(v, int64(size))
 	return v, nil
 }
 
@@ -83,13 +148,43 @@ func (as *AddressSpace) Unmap(v *VMA) error {
 	for i, w := range as.vmas {
 		if w == v {
 			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
-			if as.last == v {
-				as.last = nil
-			}
+			as.invalidate(v.Start, v.End)
+			as.addResident(v, -int64(v.resident))
 			return nil
 		}
 	}
 	return fmt.Errorf("mem: unmap of unknown VMA %s", v)
+}
+
+// Discard releases up to bytes of v's resident pages without unmapping it —
+// the madvise(MADV_DONTNEED) a trimming runtime issues on the free tail of
+// its heap. The amount is rounded up to whole pages and clamped to what is
+// resident; the bytes actually released are returned.
+func (as *AddressSpace) Discard(v *VMA, bytes uint64) uint64 {
+	if !countable(v) {
+		return 0
+	}
+	bytes = roundUp(bytes)
+	if bytes > v.resident {
+		bytes = v.resident
+	}
+	as.addResident(v, -int64(bytes))
+	return bytes
+}
+
+// Commit re-commits bytes of v after a Discard (the page faults of touching
+// discarded pages again), capped at the mapping size. It returns the bytes
+// actually committed.
+func (as *AddressSpace) Commit(v *VMA, bytes uint64) uint64 {
+	if !countable(v) {
+		return 0
+	}
+	bytes = roundUp(bytes)
+	if v.resident+bytes > v.Size() {
+		bytes = v.Size() - v.resident
+	}
+	as.addResident(v, int64(bytes))
+	return bytes
 }
 
 // Find resolves addr to its containing VMA, or nil when unmapped.
@@ -145,8 +240,23 @@ func (as *AddressSpace) Brk(newBrk Addr) Addr {
 		copy(grown, heap.store.data)
 		heap.store.data = grown
 	}
+	// Invalidate against the pre-mutation extent: a shrink takes addresses
+	// away from a possibly-cached heap hit.
+	oldEnd := heap.End
+	if newBrk < oldEnd {
+		as.invalidate(newBrk, oldEnd)
+	}
 	heap.End = newBrk
 	as.brk = newBrk
+	if newBrk >= oldEnd {
+		as.addResident(heap, int64(newBrk-oldEnd))
+	} else {
+		shrunk := oldEnd - newBrk
+		if shrunk > heap.resident {
+			shrunk = heap.resident
+		}
+		as.addResident(heap, -int64(shrunk))
+	}
 	return as.brk
 }
 
@@ -159,13 +269,20 @@ func (as *AddressSpace) Clone() *AddressSpace {
 	child.vmas = make([]*VMA, 0, len(as.vmas))
 	for _, v := range as.vmas {
 		nv := &VMA{
-			Start:  v.Start,
-			End:    v.End,
-			Name:   v.Name,
-			Perms:  v.Perms,
-			Class:  v.Class,
-			Region: v.Region,
-			Shared: v.Shared,
+			Start:    v.Start,
+			End:      v.End,
+			Name:     v.Name,
+			Perms:    v.Perms,
+			Class:    v.Class,
+			Region:   v.Region,
+			Shared:   v.Shared,
+			resident: v.resident,
+		}
+		if countable(nv) {
+			child.residentPages += nv.resident / PageSize
+			if int(nv.Class) < len(child.classPages) {
+				child.classPages[nv.Class] += nv.resident / PageSize
+			}
 		}
 		switch {
 		case v.Shared || v.Perms&PermWrite == 0:

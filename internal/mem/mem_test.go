@@ -297,6 +297,138 @@ func TestAddressSpaceInvariantProperty(t *testing.T) {
 	}
 }
 
+// TestLookupCacheInvalidatedOnMutation pins the cache-coherence fix: the
+// stale path is cache-a-VMA, unmap it, remap an overlapping range — the old
+// code only cleared the cache when the unmapped VMA was the cached one at
+// unmap time, and a later mutation covering the cached range could otherwise
+// leave Find answering from a freed VMA. Every mutation (Map, Unmap, Brk)
+// now invalidates any cache entry its range covers.
+func TestLookupCacheInvalidatedOnMutation(t *testing.T) {
+	as := newAS()
+	a := mustMap(t, as, 0x1000, 0x1000, "a")
+	if as.Find(0x1800) != a {
+		t.Fatal("warm-up Find missed")
+	}
+	if err := as.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if as.last != nil {
+		t.Fatal("Unmap left the lookup cache pointing at a freed VMA")
+	}
+	// Overlapping remap of the freed range must resolve to the new VMA.
+	b := mustMap(t, as, 0x0800, 0x2000, "b")
+	if got := as.Find(0x1800); got != b {
+		t.Fatalf("Find after overlapping remap = %v, want %v", got, b)
+	}
+
+	// Brk mutations invalidate a cached heap hit too: shrink the heap,
+	// remap the freed tail, and the tail must resolve to the new mapping.
+	as2 := newAS()
+	NewLayout(as2, 0x10000, 0x10000)
+	heap := as2.FindByName(RegionHeap)
+	tail := heap.End - PageSize
+	if as2.Find(tail) != heap {
+		t.Fatal("heap warm-up Find missed")
+	}
+	as2.Brk(tail) // shrink: [tail, oldEnd) is no longer heap
+	if as2.last == heap {
+		t.Fatal("Brk shrink left the cache covering a range the heap lost")
+	}
+	blocker := mustMap(t, as2, tail, PageSize, "blocker")
+	if got := as2.Find(tail); got != blocker {
+		t.Fatalf("Find in freed heap tail = %v, want %v", got, blocker)
+	}
+}
+
+// TestResidentAccounting pins the physical-page bookkeeping the kernel's
+// pressure model is fed by: writable mappings count, read-only and kernel
+// mappings do not, and Unmap/Brk/Discard/Commit move the counters.
+func TestResidentAccounting(t *testing.T) {
+	as := newAS()
+	var observed int64
+	as.OnResident = func(d int64) { observed += d }
+
+	rw := mustMap(t, as, 0x1000, 8*PageSize, "rw")
+	if got := as.ResidentPages(); got != 8 {
+		t.Fatalf("resident after rw map = %d pages, want 8", got)
+	}
+	if rw.ResidentBytes() != 8*PageSize {
+		t.Fatalf("VMA resident = %d", rw.ResidentBytes())
+	}
+	// Read-only file pages are evictable cache: not counted.
+	mustMapPerm(t, as, 0x20000, 4*PageSize, "ro", PermRead)
+	if got := as.ResidentPages(); got != 8 {
+		t.Fatalf("resident after ro map = %d pages, want 8", got)
+	}
+	// The kernel direct map is shared physical memory: not counted.
+	if _, err := as.Map(KernelVA, KernelLen, RegionKernel, PermRead|PermWrite|PermExec, ClassKernel); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentPages(); got != 8 {
+		t.Fatalf("resident after kernel map = %d pages, want 8", got)
+	}
+	if got := as.ResidentPagesByClass(ClassAnon); got != 8 {
+		t.Fatalf("anon class pages = %d, want 8", got)
+	}
+
+	// Discard releases pages without unmapping; Commit brings them back,
+	// capped at the mapping size.
+	if released := as.Discard(rw, 3*PageSize); released != 3*PageSize {
+		t.Fatalf("Discard released %d", released)
+	}
+	if got := as.ResidentPages(); got != 5 {
+		t.Fatalf("resident after discard = %d pages, want 5", got)
+	}
+	if committed := as.Commit(rw, 100*PageSize); committed != 3*PageSize {
+		t.Fatalf("Commit added %d, want cap at %d", committed, 3*PageSize)
+	}
+	if got := as.ResidentPages(); got != 8 {
+		t.Fatalf("resident after commit = %d pages, want 8", got)
+	}
+
+	if err := as.Unmap(rw); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentPages(); got != 0 {
+		t.Fatalf("resident after unmap = %d pages, want 0", got)
+	}
+	if observed != 0 {
+		t.Fatalf("observer saw net %d pages, want 0", observed)
+	}
+}
+
+// TestBrkMovesResidentAccounting: heap growth commits pages, shrink releases
+// them.
+func TestBrkMovesResidentAccounting(t *testing.T) {
+	as := newAS()
+	NewLayout(as, 0x10000, 0x10000)
+	heap := as.FindByName(RegionHeap)
+	base := as.ResidentPages()
+	as.Brk(heap.End + 4*PageSize)
+	if got := as.ResidentPages(); got != base+4 {
+		t.Fatalf("resident after Brk grow = %d, want %d", got, base+4)
+	}
+	as.Brk(heap.End - 2*PageSize)
+	if got := as.ResidentPages(); got != base+2 {
+		t.Fatalf("resident after Brk shrink = %d, want %d", got, base+2)
+	}
+}
+
+// TestCloneCarriesResidentAccounting: a forked child reports the same
+// countable resident set as its parent.
+func TestCloneCarriesResidentAccounting(t *testing.T) {
+	as := newAS()
+	NewLayout(as, 0x10000, 0x10000)
+	mustMap(t, as, 0x40000000, 16*PageSize, "anon")
+	child := as.Clone()
+	if child.ResidentPages() != as.ResidentPages() {
+		t.Fatalf("clone resident = %d, parent = %d", child.ResidentPages(), as.ResidentPages())
+	}
+	if child.ResidentPagesByClass(ClassAnon) != as.ResidentPagesByClass(ClassAnon) {
+		t.Fatal("clone per-class accounting diverged")
+	}
+}
+
 func mustMap(t *testing.T, as *AddressSpace, start Addr, size uint64, name string) *VMA {
 	t.Helper()
 	return mustMapPerm(t, as, start, size, name, PermRead|PermWrite)

@@ -76,8 +76,20 @@ type VMA struct {
 	// (and therefore across fork).
 	Shared bool
 
+	// resident is the number of bytes of the mapping currently backed by
+	// physical pages, as the owning AddressSpace accounts them. Only
+	// pressure-relevant mappings (writable, non-kernel) are tracked; it is
+	// maintained by AddressSpace.Map/Unmap/Brk/Discard/Commit.
+	resident uint64
+
 	store *store
 }
+
+// ResidentBytes reports how many bytes of the VMA the physical-page
+// accounting currently counts as resident. Read-only and kernel mappings
+// report zero: their pages are clean file cache (or the shared kernel image)
+// and never pin memory in the pressure model.
+func (v *VMA) ResidentBytes() uint64 { return v.resident }
 
 // Size reports the VMA length in bytes.
 func (v *VMA) Size() uint64 { return v.End - v.Start }

@@ -28,19 +28,26 @@ type ScenarioAppRow struct {
 // ScenarioRow is one completed scenario run, flattened for rendering. All
 // fields are deterministic for a (scenario, seed, ablation) triple.
 type ScenarioRow struct {
-	Scenario      string           `json:"scenario"`
-	Seed          uint64           `json:"seed"`
-	Ablation      string           `json:"ablation"`
-	Events        int              `json:"events"`
-	MaxLiveApps   int              `json:"max_live_apps"`
-	TotalRefs     uint64           `json:"total_refs"`
-	Processes     int              `json:"processes"`
-	LiveProcesses int              `json:"live_processes"`
-	Threads       int              `json:"threads"`
-	CodeRegions   int              `json:"code_regions"`
-	DataRegions   int              `json:"data_regions"`
-	Fingerprint   uint64           `json:"fingerprint"`
-	Apps          []ScenarioAppRow `json:"apps"`
+	Scenario      string `json:"scenario"`
+	Seed          uint64 `json:"seed"`
+	Ablation      string `json:"ablation"`
+	Events        int    `json:"events"`
+	MaxLiveApps   int    `json:"max_live_apps"`
+	TotalRefs     uint64 `json:"total_refs"`
+	Processes     int    `json:"processes"`
+	LiveProcesses int    `json:"live_processes"`
+	Threads       int    `json:"threads"`
+	CodeRegions   int    `json:"code_regions"`
+	DataRegions   int    `json:"data_regions"`
+	// LMKKills/LMKVictims/Trims are the memory-pressure outcome of the
+	// session: lowmemorykiller process kills (in kill order) and
+	// onTrimMemory callbacks delivered. All deterministic per
+	// (scenario, seed, ablation).
+	LMKKills    int              `json:"lmk_kills"`
+	LMKVictims  []string         `json:"lmk_victims,omitempty"`
+	Trims       int              `json:"trims"`
+	Fingerprint uint64           `json:"fingerprint"`
+	Apps        []ScenarioAppRow `json:"apps"`
 }
 
 // ScenarioRows flattens scenario suite outputs (skipping failed runs and
@@ -70,6 +77,9 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 		if s := r.Session; s != nil {
 			row.Events = s.Events
 			row.MaxLiveApps = s.MaxLive
+			row.LMKKills = s.LMKKills
+			row.LMKVictims = append([]string(nil), s.LMKVictims...)
+			row.Trims = s.Trims
 			byProc := stats.NewBreakdown(r.Stats.ByProcess())
 			for _, app := range s.Apps {
 				row.Apps = append(row.Apps, ScenarioAppRow{
@@ -89,15 +99,19 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 // per-app attribution block — the multi-app counterpart of WriteMatrix,
 // minus every non-deterministic column.
 func WriteScenarioMatrix(w io.Writer, outputs []suite.RunOutput[*core.Result]) {
-	fmt.Fprintf(w, "%-16s %6s %-10s %7s %12s %11s %8s %8s %8s\n",
-		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions")
+	fmt.Fprintf(w, "%-20s %6s %-10s %7s %12s %11s %8s %8s %8s %5s %5s\n",
+		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions", "lmk", "trims")
 	for _, r := range ScenarioRows(outputs) {
-		fmt.Fprintf(w, "%-16s %6d %-10s %7d %12d %11d %8d %8d %8d\n",
+		fmt.Fprintf(w, "%-20s %6d %-10s %7d %12d %11d %8d %8d %8d %5d %5d\n",
 			r.Scenario, r.Seed, r.Ablation, r.Events, r.TotalRefs,
-			r.Processes, r.LiveProcesses, r.Threads, r.CodeRegions+r.DataRegions)
+			r.Processes, r.LiveProcesses, r.Threads, r.CodeRegions+r.DataRegions,
+			r.LMKKills, r.Trims)
 		for _, a := range r.Apps {
 			fmt.Fprintf(w, "    %-14s %-22s %12d %6.2f%%\n",
 				a.Name, a.Workload, a.Refs, a.Share*100)
+		}
+		if len(r.LMKVictims) > 0 {
+			fmt.Fprintf(w, "    lmk victims: %v\n", r.LMKVictims)
 		}
 	}
 }
@@ -135,9 +149,9 @@ func WriteScenarioJSON(w io.Writer, p suite.Plan, outputs []suite.RunOutput[*cor
 // WriteScenarioList renders the bundled scenario library: name, app count,
 // event count, peak concurrently-live apps, and the one-line description.
 func WriteScenarioList(w io.Writer, lib []*scenario.Scenario) {
-	fmt.Fprintf(w, "%-16s %5s %7s %5s  %s\n", "scenario", "apps", "events", "live", "description")
+	fmt.Fprintf(w, "%-20s %5s %7s %5s  %s\n", "scenario", "apps", "events", "live", "description")
 	for _, s := range lib {
-		fmt.Fprintf(w, "%-16s %5d %7d %5d  %s\n",
+		fmt.Fprintf(w, "%-20s %5d %7d %5d  %s\n",
 			s.Name, len(s.Apps), len(s.Timeline), s.MaxLiveApps(), s.Description)
 	}
 }

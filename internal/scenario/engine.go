@@ -32,6 +32,15 @@ type Config struct {
 	// DirtyRectComposition switches SurfaceFlinger to composing only
 	// posted surfaces.
 	DirtyRectComposition bool
+	// MemPages is the machine's physical page budget (0 = the default
+	// 1 GB device, kernel.DefaultMemPages). Scenario machines always run
+	// the memory-pressure model: backgrounded apps can die because the
+	// system is out of memory, not only because the timeline says so.
+	MemPages uint64
+	// MinFreePages is the lowmemorykiller's cached-app kill waterline in
+	// pages; the visible and foreground rungs are derived from it
+	// (0 = the default 32 MB). The CLI's -minfree knob lands here.
+	MinFreePages uint64
 }
 
 // Result is the outcome of one scenario run: the same attributed counter
@@ -57,6 +66,14 @@ type Result struct {
 	Events int
 	// MaxLive is the peak number of simultaneously-live scenario apps.
 	MaxLive int
+
+	// LMKKills counts processes the lowmemorykiller killed; LMKVictims
+	// names them in kill order. Both are zero/empty when the session
+	// never came under enough pressure.
+	LMKKills   int
+	LMKVictims []string
+	// Trims counts onTrimMemory callbacks the ActivityManager delivered.
+	Trims int
 
 	Duration sim.Ticks
 }
@@ -99,7 +116,16 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 		d.byName[a.Name] = w
 	}
 
-	k := kernel.New(kernel.Config{Quantum: cfg.Quantum, Seed: cfg.Seed})
+	memPages := cfg.MemPages
+	if memPages == 0 {
+		memPages = kernel.DefaultMemPages
+	}
+	k := kernel.New(kernel.Config{
+		Quantum:  cfg.Quantum,
+		Seed:     cfg.Seed,
+		MemPages: memPages,
+		MinFree:  kernel.DefaultMinFree(cfg.MinFreePages),
+	})
 	defer k.Shutdown()
 	sys := android.Boot(k)
 	sys.Compositor.DirtyRectOnly = cfg.DirtyRectComposition
@@ -145,6 +171,9 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 		DataRegions:   k.Stats.RegionCount(stats.DataKinds...),
 		Events:        len(s.Timeline),
 		MaxLive:       s.MaxLiveApps(),
+		LMKKills:      k.LMKKills(),
+		LMKVictims:    append([]string(nil), k.LMKVictims()...),
+		Trims:         sys.Trims(),
 		Duration:      cfg.Duration,
 	}, nil
 }
@@ -184,6 +213,11 @@ func (d *driver) apply(ex *kernel.Exec, ev Event) {
 		}
 	case Idle:
 		// A deliberate gap: the system runs undisturbed.
+	case Pressure:
+		// External memory demand: the allocation syscall cost charges to
+		// the driver; whether anything dies is the lowmemorykiller's call.
+		ex.Syscall(800, 200)
+		sys.K.Balloon(ev.Pages)
 	}
 }
 

@@ -12,6 +12,8 @@ func Library() []*Scenario {
 		mediaMarathon(),
 		installStorm(),
 		appChurn(),
+		memoryStorm(),
+		cachedAppEviction(),
 	}
 }
 
@@ -150,6 +152,65 @@ func installStorm() *Scenario {
 			{At: 120, Kind: Launch, App: "game"},
 			{At: 480, Kind: SwitchTo, App: "installer"},
 			{At: 700, Kind: SwitchTo, App: "game"},
+		},
+	}
+}
+
+// memoryStorm — emergent kills under pressure: the timeline scripts no Kill
+// at all. Four apps go live, two age into the cached LRU, then escalating
+// Pressure events starve the machine. The first wave lands between the trim
+// waterline and the kill rungs, so backgrounded apps shrink their dalvik
+// heaps and buy the session time; the following waves push free pages below
+// the minfree ladder and the lowmemorykiller walks it — cached apps first,
+// then home/perceptible processes — while the foreground game survives the
+// whole storm. Which processes die, and when, is decided by the kernel, not
+// this script.
+func memoryStorm() *Scenario {
+	return &Scenario{
+		Name:        "memory-storm",
+		Description: "no scripted kills: escalating pressure trims then evicts apps via the lowmemorykiller",
+		Apps: []App{
+			{Name: "dict", Workload: "aard.main"},
+			{Name: "timer", Workload: "countdown.main"},
+			{Name: "radio", Workload: "music.mp3.view.bkg"},
+			{Name: "game", Workload: "frozenbubble.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "dict"},
+			{At: 80, Kind: Launch, App: "timer"},
+			{At: 160, Kind: Launch, App: "radio"},
+			{At: 240, Kind: Launch, App: "game"},
+			{At: 320, Kind: Pressure, Pages: 60_000},
+			{At: 500, Kind: Pressure, Pages: 45_000},
+			{At: 700, Kind: Pressure, Pages: 40_000},
+			{At: 850, Kind: Pressure, Pages: 30_000},
+			{At: 930, Kind: Idle},
+		},
+	}
+}
+
+// cachedAppEviction — the cooperative-then-coercive pressure ladder in
+// isolation: moderate pressure crosses only the trim waterline (cached apps
+// give back their heap tails and the machine recovers), then a deeper wave
+// crosses the cached minfree rung and exactly the LRU-oldest cached app is
+// evicted — chosen by oom_adj recency, not by size — while the recently-used
+// one survives.
+func cachedAppEviction() *Scenario {
+	return &Scenario{
+		Name:        "cached-app-eviction",
+		Description: "trim rescue, then the LRU-oldest cached app is evicted by oom_adj",
+		Apps: []App{
+			{Name: "notes", Workload: "countdown.main"},
+			{Name: "reader", Workload: "coolreader.epub.view"},
+			{Name: "game", Workload: "jetboy.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "notes"},
+			{At: 70, Kind: Launch, App: "reader"},
+			{At: 140, Kind: Launch, App: "game"},
+			{At: 300, Kind: Pressure, Pages: 95_000},
+			{At: 550, Kind: Pressure, Pages: 30_000},
+			{At: 800, Kind: Idle},
 		},
 	}
 }

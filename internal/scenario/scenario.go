@@ -45,6 +45,11 @@ const (
 	// Idle marks a deliberate gap in the session; the system runs
 	// undisturbed. It names no app.
 	Idle
+	// Pressure inflates (Pages > 0) or deflates (Pages < 0) the machine's
+	// external memory demand — the rest of the device wanting RAM. It
+	// names no app: which processes die as a consequence is the
+	// lowmemorykiller's decision, not the script's.
+	Pressure
 )
 
 // String names the event kind as scripts spell it.
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "kill"
 	case Idle:
 		return "idle"
+	case Pressure:
+		return "pressure"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -74,12 +81,19 @@ type Event struct {
 	At Fraction
 	// Kind is the lifecycle transition to drive.
 	Kind Kind
-	// App names the target (a Scenario.Apps entry); empty for Idle.
+	// App names the target (a Scenario.Apps entry); empty for Idle and
+	// Pressure.
 	App string
+	// Pages is the memory-demand delta of a Pressure event, in physical
+	// pages (negative deflates); zero for every other kind.
+	Pages int64
 }
 
 // String renders the event as "at=250 switchto maps".
 func (e Event) String() string {
+	if e.Kind == Pressure {
+		return fmt.Sprintf("at=%d pressure %+dpg", e.At, e.Pages)
+	}
 	if e.App == "" {
 		return fmt.Sprintf("at=%d %s", e.At, e.Kind)
 	}
@@ -174,9 +188,21 @@ func (s *Scenario) Validate() error {
 		if ev.At < 0 || ev.At > 1000 {
 			return fmt.Errorf("scenario %s: event %q outside [0,1000]", s.Name, ev)
 		}
+		if ev.Kind != Pressure && ev.Pages != 0 {
+			return fmt.Errorf("scenario %s: event %q carries a page delta", s.Name, ev)
+		}
 		if ev.Kind == Idle {
 			if ev.App != "" {
 				return fmt.Errorf("scenario %s: idle event names app %q", s.Name, ev.App)
+			}
+			continue
+		}
+		if ev.Kind == Pressure {
+			if ev.App != "" {
+				return fmt.Errorf("scenario %s: pressure event names app %q", s.Name, ev.App)
+			}
+			if ev.Pages == 0 {
+				return fmt.Errorf("scenario %s: pressure event with zero page delta", s.Name)
 			}
 			continue
 		}
@@ -206,10 +232,18 @@ func (s *Scenario) Validate() error {
 }
 
 // at resolves the event's position to an absolute simulated time within a
-// measured interval beginning at start and lasting duration. Events close
-// to the end may land beyond the interval's scheduling horizon (a quantum
+// measured interval beginning at start and lasting duration. The interval is
+// half-open — the machine stops the instant the clock reaches
+// start+duration — so At=1000 is clamped to the final measured tick; without
+// the clamp an end-of-interval event would land one tick past the last
+// measured one and its effects would fall outside the measurement. Events
+// close to the end may still land beyond the scheduling horizon (a quantum
 // can overshoot the deadline); the engine keeps stepping the machine until
 // the script has fully executed, so they are applied, never dropped.
 func (e Event) at(start, duration sim.Ticks) sim.Ticks {
-	return start + duration*sim.Ticks(e.At)/1000
+	t := start + duration*sim.Ticks(e.At)/1000
+	if end := start + duration; t >= end {
+		t = end - 1
+	}
+	return t
 }

@@ -90,6 +90,15 @@ func TestValidateRejectsIllFormedTimelines(t *testing.T) {
 		{"fraction out of range", func(s *Scenario) {
 			s.Timeline = append(s.Timeline, Event{At: 1500, Kind: Background, App: "a"})
 		}},
+		{"pressure with app", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Pressure, App: "a", Pages: 100})
+		}},
+		{"pressure without pages", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Pressure})
+		}},
+		{"page delta on non-pressure event", func(s *Scenario) {
+			s.Timeline = append(s.Timeline, Event{At: 100, Kind: Background, App: "a", Pages: 100})
+		}},
 	}
 	for _, c := range cases {
 		s := base()
@@ -131,6 +140,32 @@ func TestRunIsSeedDeterministic(t *testing.T) {
 	}
 	if c.Stats.Fingerprint() == a.Stats.Fingerprint() {
 		t.Fatal("longer run produced an identical fingerprint")
+	}
+}
+
+// TestEventAtClampsToMeasuredInterval pins the boundary fix: the measured
+// interval is half-open, so At=1000 resolves to the final measured tick
+// (start+duration-1), never to start+duration — one tick past the last
+// measured one, where the event's effects would fall outside the
+// measurement.
+func TestEventAtClampsToMeasuredInterval(t *testing.T) {
+	const start, duration = 1000, 500
+	for _, tc := range []struct {
+		at   Fraction
+		want sim.Ticks
+	}{
+		{0, start},
+		{500, start + 250},
+		{999, start + duration*999/1000},
+		{1000, start + duration - 1},
+	} {
+		if got := (Event{At: tc.at}).at(start, duration); got != tc.want {
+			t.Errorf("At=%d resolves to %d, want %d", tc.at, got, tc.want)
+		}
+	}
+	// Degenerate one-tick interval: everything lands on the only tick.
+	if got := (Event{At: 1000}).at(7, 1); got != 7 {
+		t.Errorf("At=1000 of a 1-tick interval resolves to %d, want 7", got)
 	}
 }
 
@@ -211,6 +246,136 @@ func TestKillTearsProcessesDown(t *testing.T) {
 		if res.Events != len(sc.Timeline) {
 			t.Errorf("%s: applied %d events, want %d", name, res.Events, len(sc.Timeline))
 		}
+	}
+}
+
+// TestMemoryStormEmergentKills is the tentpole acceptance bar: the
+// memory-storm timeline scripts no Kill event at all, yet under its Pressure
+// events the lowmemorykiller must evict processes — cached apps before the
+// perceptible/visible band, and never the foreground app. Kill timing and
+// victim identity are decided by the kernel, not the script.
+func TestMemoryStormEmergentKills(t *testing.T) {
+	sc, err := ByName("memory-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range sc.Timeline {
+		if ev.Kind == Kill {
+			t.Fatalf("memory-storm scripts a kill: %s", ev)
+		}
+	}
+	res, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LMKKills < 1 {
+		t.Fatal("memory-storm produced no lowmemorykiller kill")
+	}
+	if res.LMKKills != len(res.LMKVictims) {
+		t.Fatalf("kill count %d != victims %v", res.LMKKills, res.LMKVictims)
+	}
+	pos := make(map[string]int)
+	for i, v := range res.LMKVictims {
+		if v == "game" {
+			t.Fatalf("foreground app killed: victims %v", res.LMKVictims)
+		}
+		pos[v] = i
+	}
+	// The cached apps (dict was backgrounded first, then timer) must go
+	// before anything in the visible/perceptible band.
+	cached := []string{"dict", "timer"}
+	for _, c := range cached {
+		ci, ok := pos[c]
+		if !ok {
+			continue
+		}
+		for _, v := range []string{"radio", "ndroid.systemui"} {
+			if vi, ok := pos[v]; ok && vi < ci {
+				t.Fatalf("victim order violates oom_adj: %q before cached %q in %v",
+					v, c, res.LMKVictims)
+			}
+		}
+	}
+	if _, ok := pos["dict"]; !ok {
+		t.Fatalf("LRU-oldest cached app survived the storm: victims %v", res.LMKVictims)
+	}
+	if res.Trims == 0 {
+		t.Fatal("storm delivered no onTrimMemory callbacks")
+	}
+	// Emergent deaths show up in the census like scripted ones.
+	if res.LiveProcesses >= res.Processes {
+		t.Fatalf("census does not reflect LMK deaths: live %d of %d",
+			res.LiveProcesses, res.Processes)
+	}
+}
+
+// TestCachedAppEvictionPolicy pins the cooperative-then-coercive ladder:
+// moderate pressure only trims (apps shrink their dalvik heaps), and the
+// deep wave evicts exactly the LRU-oldest cached app — chosen by oom_adj
+// recency, not by size — while the recently-used cached app and the
+// foreground survive.
+func TestCachedAppEvictionPolicy(t *testing.T) {
+	sc, err := ByName("cached-app-eviction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sc, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trims == 0 {
+		t.Fatal("moderate pressure delivered no onTrimMemory callbacks")
+	}
+	if res.LMKKills < 1 {
+		t.Fatal("deep pressure killed nothing")
+	}
+	if res.LMKVictims[0] != "notes" {
+		t.Fatalf("first victim = %q, want the LRU-oldest cached app %q (victims %v)",
+			res.LMKVictims[0], "notes", res.LMKVictims)
+	}
+	for _, v := range res.LMKVictims {
+		if v == "reader" || v == "game" {
+			t.Fatalf("recently-used or foreground app evicted: %v", res.LMKVictims)
+		}
+	}
+}
+
+// TestScenarioRunsStayKillFreeWithoutPressure guards the bundled library's
+// backward compatibility: the pressure model is always on for scenarios, but
+// with the default budget no non-Pressure scenario comes close to the
+// minfree ladder.
+func TestScenarioRunsStayKillFreeWithoutPressure(t *testing.T) {
+	for _, name := range []string{"commute", "social-burst", "app-churn"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(sc, quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LMKKills != 0 || res.Trims != 0 {
+			t.Errorf("%s: unexpected pressure activity: %d kills %v, %d trims",
+				name, res.LMKKills, res.LMKVictims, res.Trims)
+		}
+	}
+}
+
+// TestMinFreeKnobTightensTheKiller pins the -minfree plumbing: raising the
+// waterline makes a previously-safe session come under pressure.
+func TestMinFreeKnobTightensTheKiller(t *testing.T) {
+	sc, err := ByName("social-burst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.MinFreePages = 120_000 // absurdly high waterline: everything is pressure
+	res, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LMKKills == 0 && res.Trims == 0 {
+		t.Fatal("raised minfree waterline produced no pressure response")
 	}
 }
 

@@ -14,12 +14,14 @@ import (
 	"agave/internal/suite"
 )
 
-// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 2 multi-app
-// scenarios with 2 seeds and the full ablation sweep: 7 × 2 × 3 = 42 runs,
+// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 4 multi-app
+// scenarios with 2 seeds and the full ablation sweep: 9 × 2 × 3 = 54 runs,
 // above the 25-run bar the engine must hold the guarantee at. The scenario
-// axis is deliberately the lifecycle-heavy pair: concurrent live apps
-// (social-burst) and kill/relaunch churn (app-churn) are where scheduling
-// nondeterminism would surface first.
+// axis is deliberately the hostile set: concurrent live apps (social-burst)
+// and kill/relaunch churn (app-churn) are where scheduling nondeterminism
+// would surface first, and the two pressure scenarios (memory-storm,
+// cached-app-eviction) add emergent lowmemorykiller kills and onTrimMemory
+// traffic — system-initiated events that must still replay bit-identically.
 func determinismPlan() suite.Plan {
 	return suite.Plan{
 		Benchmarks: []string{
@@ -30,8 +32,10 @@ func determinismPlan() suite.Plan {
 			"462.libquantum",    // SPEC baseline
 		},
 		Scenarios: []string{
-			"social-burst", // 4 concurrently-live apps
-			"app-churn",    // kill/relaunch lifecycle stress
+			"social-burst",        // 4 concurrently-live apps
+			"app-churn",           // kill/relaunch lifecycle stress
+			"memory-storm",        // emergent lowmemorykiller kills
+			"cached-app-eviction", // trim rescue + LRU eviction
 		},
 		Seeds:     []uint64{1, 7},
 		Ablations: suite.DefaultAblations,
