@@ -13,6 +13,7 @@ import (
 
 	"agave/internal/core"
 	"agave/internal/report"
+	"agave/internal/scenario"
 	"agave/internal/sim"
 	"agave/internal/stats"
 	"agave/internal/suite"
@@ -215,6 +216,43 @@ func BenchmarkScenarioPressure(b *testing.B) {
 				b.ReportMetric(float64(r.Stats.Total()), "total_refs")
 			}
 		})
+	}
+}
+
+// BenchmarkScenarioFromFile runs the declarative-scenario path end to end:
+// read and decode the committed commute scenario document, then execute the
+// session — the cost a `agave scenario -file` user pays per run. Decode is
+// deliberately inside the measured loop so codec regressions move ns/op.
+func BenchmarkScenarioFromFile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc, err := scenario.FromFile("testdata/scenarios/commute.json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := core.RunScenarioDef(sc, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Stats.Total()), "total_refs")
+		b.ReportMetric(float64(r.Session.Events), "events")
+	}
+}
+
+// BenchmarkScenarioGenerated runs a 10-app generated session (the ROADMAP's
+// session-scale bar) end to end at the default event density. Reported
+// metrics pin the generated shape — peak live census and the process count —
+// so the bench trajectory tracks both engine speed at scale and generator
+// drift.
+func BenchmarkScenarioGenerated(b *testing.B) {
+	sc := scenario.Generate(scenario.GenConfig{Seed: 1, Apps: 10})
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunScenarioDef(sc, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Session.MaxLive), "max_live")
+		b.ReportMetric(float64(r.Processes), "processes")
+		b.ReportMetric(float64(r.Stats.Total()), "total_refs")
 	}
 }
 

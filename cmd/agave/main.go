@@ -9,6 +9,8 @@
 //	agave suite [flags]                # parallel run matrix (see below)
 //	agave scenario -list               # bundled multi-app scenario library
 //	agave scenario <name...> [flags]   # scripted multi-app sessions
+//	agave scenario -file <path>        # run a JSON scenario document
+//	agave scenario -export <name>      # dump a bundled scenario as canonical JSON
 //	agave fig1|fig2|fig3|fig4 [flags]  # regenerate a figure (table/csv/bars)
 //	agave table1 [flags]               # regenerate Table I
 //	agave scalars [flags]              # Section-III census metrics
@@ -28,11 +30,14 @@
 // ablations on a bounded worker pool; results are emitted in plan order and
 // are bit-identical to a serial run of the same plan:
 //
-//	-parallel 0      worker pool size (0 = all cores, 1 = serial)
-//	-seeds 1,2,3     seed axis of the run matrix (default: -seed)
-//	-ablations       add the nojit and dirtyrect ablations to the matrix
-//	-scenarios a,b   add bundled scenarios to the matrix as a plan axis
-//	-json            emit plan, per-run rows, and summaries as JSON
+//	-parallel 0        worker pool size (0 = all cores, 1 = serial)
+//	-seeds 1,2,3       seed axis of the run matrix (default: -seed)
+//	-ablations         add the nojit and dirtyrect ablations to the matrix
+//	-scenarios a,b     add bundled scenarios to the matrix as a plan axis
+//	-scenario-dir d    add every *.json scenario document in d to the matrix
+//	-gen-scenarios N   add N generated scenarios (seeds -gen-seed..+N-1);
+//	                   -gen-apps/-gen-events/-gen-pressure set the knobs
+//	-json              emit plan, per-run rows, and summaries as JSON
 //
 // The scenario subcommand runs scripted multi-app sessions: apps launch,
 // switch, background, and die on a deterministic timeline while every
@@ -43,9 +48,13 @@
 // emergent kills the report's lmk columns account for:
 //
 //	-minfree N       cached-app kill waterline in pages (0 = 8192 = 32 MB)
+//	-file path       run a scenario decoded from a JSON scenario document
+//	-export name     print a bundled scenario as canonical JSON and exit
 //
 // Scenario reports carry no wall-clock columns, so the same plan and seed
-// emit byte-identical bytes at any -parallel value.
+// emit byte-identical bytes at any -parallel value — and a file-loaded copy
+// of a bundled scenario (agave scenario -export commute | agave scenario
+// -file /dev/stdin) reproduces the bundled report byte for byte.
 package main
 
 import (
@@ -93,6 +102,14 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	scenarioList := fs.String("scenarios", "", "comma-separated scenarios to add to the suite matrix")
 	asJSON := fs.Bool("json", false, "emit the suite sweep as JSON")
 	listScenarios := fs.Bool("list", false, "list the bundled scenario library")
+	scenarioFile := fs.String("file", "", "run a scenario loaded from a JSON scenario document")
+	exportName := fs.String("export", "", "print a bundled scenario as its canonical JSON document and exit")
+	scenarioDir := fs.String("scenario-dir", "", "add every *.json scenario in a directory to the suite matrix")
+	genScenarios := fs.Int("gen-scenarios", 0, "add N generated scenarios to the suite matrix (seeds gen-seed..gen-seed+N-1)")
+	genSeed := fs.Uint64("gen-seed", 1, "generation seed of the first generated scenario")
+	genApps := fs.Int("gen-apps", 0, "apps per generated scenario (0 = 10, the concurrently-live peak)")
+	genEvents := fs.Int("gen-events", 0, "timeline events per generated scenario (0 = 4 per app)")
+	genPressure := fs.Int("gen-pressure", 0, "memory-pressure knob of generated scenarios (0 = none)")
 
 	switch cmd {
 	case "list":
@@ -193,11 +210,61 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	// The subcommands share one FlagSet, so a flag belonging to the other
+	// subcommand parses fine — reject it instead of silently ignoring a
+	// requested scenario source. Visit sees every explicitly-set flag, so
+	// even a knob set to its default value is caught.
+	setFlags := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+	if cmd != "scenario" {
+		for _, f := range []string{"file", "export"} {
+			if setFlags[f] {
+				fmt.Fprintf(stderr, "agave %s: -%s applies to the scenario subcommand\n", cmd, f)
+				return 2
+			}
+		}
+	}
+	if cmd != "suite" {
+		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure"} {
+			if setFlags[f] {
+				fmt.Fprintf(stderr, "agave %s: -%s applies to the suite subcommand\n", cmd, f)
+				return 2
+			}
+		}
+	}
+	// A generator knob without -gen-scenarios would configure zero
+	// generated sessions: reject the forgotten count, don't ignore the
+	// knobs.
+	if cmd == "suite" && *genScenarios == 0 {
+		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure"} {
+			if setFlags[f] {
+				fmt.Fprintf(stderr, "agave suite: -%s requires -gen-scenarios N\n", f)
+				return 2
+			}
+		}
+	}
 	if cmd == "scenario" {
-		return scenarioCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON, *listScenarios)
+		// -export and -list print a document or listing and exit;
+		// combining either with names or -file would silently skip the
+		// requested runs.
+		if *exportName != "" && (len(names) > 0 || *scenarioFile != "") {
+			fmt.Fprintln(stderr, "agave scenario: -export cannot be combined with scenario names or -file")
+			return 2
+		}
+		if *listScenarios && (len(names) > 0 || setFlags["file"] || setFlags["export"]) {
+			fmt.Fprintln(stderr, "agave scenario: -list cannot be combined with scenario names, -file, or -export")
+			return 2
+		}
+	}
+	if cmd == "scenario" {
+		return scenarioCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON,
+			*listScenarios, *scenarioFile, *exportName)
 	}
 	if cmd == "suite" {
-		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *scenarioList, *asJSON)
+		gen := genFlags{n: *genScenarios, seed: *genSeed, apps: *genApps,
+			events: *genEvents, pressure: *genPressure}
+		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations,
+			*scenarioList, *scenarioDir, gen, *asJSON)
 	}
 
 	results, err := core.RunSuite(cfg, names...)
@@ -285,10 +352,49 @@ func parseSeeds(stderr io.Writer, cmd string, base uint64, seedList string) ([]u
 	return seeds, true
 }
 
-// suiteCmd executes the suite subcommand: build the run matrix, execute it
-// on the worker pool, and render per-run rows plus cross-seed summaries.
+// uniqueScenarioAxis verifies scenario names are unique across a plan's
+// whole scenario axis — named bundled scenarios plus the ad-hoc set. Two
+// cells sharing a name would render indistinguishable rows (the text matrix
+// carries no provenance column) and alias in summaries.
+func uniqueScenarioAxis(stderr io.Writer, cmd string, names []string, set []*scenario.Scenario) bool {
+	seen := make(map[string]bool, len(names)+len(set))
+	check := func(n string) bool {
+		if seen[n] {
+			fmt.Fprintf(stderr, "agave %s: duplicate scenario name %q on the scenario axis\n", cmd, n)
+			return false
+		}
+		seen[n] = true
+		return true
+	}
+	for _, n := range names {
+		if !check(n) {
+			return false
+		}
+	}
+	for _, sc := range set {
+		if !check(sc.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// genFlags bundles the generated-scenario knobs of the suite subcommand.
+type genFlags struct {
+	n        int
+	seed     uint64
+	apps     int
+	events   int
+	pressure int
+}
+
+// suiteCmd executes the suite subcommand: build the run matrix — benchmarks,
+// named scenarios, directory-loaded scenario files, and generated scenarios
+// are all plan axes — execute it on the worker pool, and render per-run rows
+// plus cross-seed summaries.
 func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
-	parallel int, seedList string, ablations bool, scenarioList string, asJSON bool) int {
+	parallel int, seedList string, ablations bool, scenarioList, scenarioDir string,
+	gen genFlags, asJSON bool) int {
 	if len(names) == 0 {
 		names = core.SuiteNames()
 	}
@@ -317,12 +423,47 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			scenarios = append(scenarios, n)
 		}
 	}
+	// Ad-hoc scenario axes: every *.json document of -scenario-dir, then
+	// -gen-scenarios generated sessions at consecutive generation seeds.
+	// Names must stay unique across the whole scenario axis — two cells
+	// with one name would alias in reports and summaries.
+	var set []*scenario.Scenario
+	if scenarioDir != "" {
+		loaded, err := scenario.LoadDir(scenarioDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "agave suite:", err)
+			return 1
+		}
+		set = append(set, loaded...)
+	}
+	if gen.n < 0 {
+		fmt.Fprintf(stderr, "agave suite: -gen-scenarios must not be negative (got %d)\n", gen.n)
+		return 2
+	}
+	// The sibling knobs validate the same way: zero means "use the
+	// default", but a negative value is a typo, not a request.
+	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 {
+		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, and -gen-pressure must not be negative (got %d/%d/%d)\n",
+			gen.apps, gen.events, gen.pressure)
+		return 2
+	}
+	for i := 0; i < gen.n; i++ {
+		set = append(set, scenario.Generate(scenario.GenConfig{
+			Seed:     gen.seed + uint64(i),
+			Apps:     gen.apps,
+			Events:   gen.events,
+			Pressure: gen.pressure,
+		}))
+	}
+	if !uniqueScenarioAxis(stderr, "suite", scenarios, set) {
+		return 1
+	}
 	seeds, ok := parseSeeds(stderr, "suite", cfg.Seed, seedList)
 	if !ok {
 		return 2
 	}
-	plan := suite.Plan{Benchmarks: names, Scenarios: scenarios, Seeds: seeds,
-		Ablations: []suite.Ablation{suite.Baseline}}
+	plan := suite.Plan{Benchmarks: names, Scenarios: scenarios, ScenarioSet: set,
+		Seeds: seeds, Ablations: []suite.Ablation{suite.Baseline}}
 	if ablations {
 		plan.Ablations = suite.DefaultAblations
 	}
@@ -339,8 +480,8 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 		return 0
 	}
 	units := fmt.Sprintf("%d benchmarks", len(plan.Benchmarks))
-	if len(plan.Scenarios) > 0 {
-		units += fmt.Sprintf(" + %d scenarios", len(plan.Scenarios))
+	if n := len(plan.Scenarios) + len(plan.ScenarioSet); n > 0 {
+		units += fmt.Sprintf(" + %d scenarios", n)
 	}
 	fmt.Fprintf(stdout, "suite: %d runs (%s × %d seeds × %d ablations)\n\n",
 		plan.Size(), units, len(plan.Seeds), len(plan.Ablations))
@@ -353,17 +494,43 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 }
 
 // scenarioCmd executes the scenario subcommand: list the bundled library,
-// or run the named scripted sessions through the suite engine and render
+// export a bundled scenario as its canonical JSON document, or run the named
+// (and/or file-loaded) scripted sessions through the suite engine and render
 // the wall-clock-free scenario matrix (or JSON document). Output bytes
-// depend only on the plan and seeds — never on -parallel.
+// depend only on the plan and seeds — never on -parallel — and a file-loaded
+// copy of a bundled scenario renders a byte-identical default report at the
+// same seed (provenance appears only in the JSON document's source field).
 func scenarioCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
-	parallel int, seedList string, ablations, asJSON, list bool) int {
+	parallel int, seedList string, ablations, asJSON, list bool, filePath, exportName string) int {
 	if list {
 		report.WriteScenarioList(stdout, scenario.Library())
 		return 0
 	}
-	if len(names) == 0 {
-		fmt.Fprintln(stderr, "agave scenario: scenario name required (or -list)")
+	if exportName != "" {
+		sc, err := scenario.ByName(exportName)
+		if err != nil {
+			fmt.Fprintf(stderr, "agave scenario: %v\n", err)
+			return 1
+		}
+		doc, err := scenario.Encode(sc)
+		if err != nil {
+			fmt.Fprintf(stderr, "agave scenario: %v\n", err)
+			return 1
+		}
+		stdout.Write(doc)
+		return 0
+	}
+	var set []*scenario.Scenario
+	if filePath != "" {
+		sc, err := scenario.FromFile(filePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "agave scenario: %v\n", err)
+			return 1
+		}
+		set = append(set, sc)
+	}
+	if len(names) == 0 && len(set) == 0 {
+		fmt.Fprintln(stderr, "agave scenario: scenario name required (or -list, -file, -export)")
 		return 2
 	}
 	for _, n := range names {
@@ -372,11 +539,14 @@ func scenarioCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			return 1
 		}
 	}
+	if !uniqueScenarioAxis(stderr, "scenario", names, set) {
+		return 1
+	}
 	seeds, ok := parseSeeds(stderr, "scenario", cfg.Seed, seedList)
 	if !ok {
 		return 2
 	}
-	plan := suite.Plan{Scenarios: names, Seeds: seeds,
+	plan := suite.Plan{Scenarios: names, ScenarioSet: set, Seeds: seeds,
 		Ablations: []suite.Ablation{suite.Baseline}}
 	if ablations {
 		plan.Ablations = suite.DefaultAblations
@@ -394,7 +564,7 @@ func scenarioCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 		return 0
 	}
 	fmt.Fprintf(stdout, "scenario: %d runs (%d scenarios × %d seeds × %d ablations)\n\n",
-		plan.Size(), len(plan.Scenarios), len(plan.Seeds), len(plan.Ablations))
+		plan.Size(), len(plan.Scenarios)+len(plan.ScenarioSet), len(plan.Seeds), len(plan.Ablations))
 	report.WriteScenarioMatrix(stdout, outputs)
 	return 0
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -445,6 +447,286 @@ func TestSuiteWithScenarioAxis(t *testing.T) {
 func TestSuiteUnknownScenario(t *testing.T) {
 	code, _, errOut := invoke(t, "suite", "-bench", "countdown.main", "-scenarios", "bogus")
 	if code != 1 || !strings.Contains(errOut, `unknown scenario "bogus"`) {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+// writeScenarioFile drops a scenario document into a temp dir and returns
+// its path.
+func writeScenarioFile(t *testing.T, name, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// validScenarioDoc is a well-formed two-app scenario document the negative
+// cases below mutate.
+const validScenarioDoc = `{
+  "name": "pair",
+  "apps": [
+    {"name": "a", "workload": "countdown.main"},
+    {"name": "b", "workload": "jetboy.main"}
+  ],
+  "timeline": [
+    {"at": 0, "kind": "launch", "app": "a"},
+    {"at": 400, "kind": "launch", "app": "b"},
+    {"at": 700, "kind": "switchto", "app": "a"}
+  ]
+}
+`
+
+// TestScenarioFileRunsAuthoredDocument: the tentpole happy path — a
+// hand-authored JSON session runs through `agave scenario -file` exactly
+// like a bundled one.
+func TestScenarioFileRunsAuthoredDocument(t *testing.T) {
+	path := writeScenarioFile(t, "pair.json", validScenarioDoc)
+	code, out, errOut := invoke(t, append([]string{"scenario", "-file", path}, quick...)...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "pair") || !strings.Contains(out, "countdown.main") {
+		t.Fatalf("file-loaded scenario matrix malformed:\n%s", out)
+	}
+	// JSON mode surfaces the file provenance.
+	code, out, errOut = invoke(t, append([]string{"scenario", "-file", path, "-json"}, quick...)...)
+	if code != 0 {
+		t.Fatalf("json: code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, `"source": "file:pair.json"`) {
+		t.Fatalf("scenario -json missing file provenance:\n%s", out)
+	}
+}
+
+// TestScenarioFileRejectsIllFormedDocuments is the negative-path satellite:
+// each parser failure mode must exit non-zero through `agave scenario -file`
+// with its specific error text on stderr.
+func TestScenarioFileRejectsIllFormedDocuments(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantErr string
+	}{
+		{
+			"unknown event kind",
+			func(s string) string { return strings.Replace(s, `"kind": "switchto"`, `"kind": "teleport"`, 1) },
+			`timeline[2]: unknown event kind "teleport"`,
+		},
+		{
+			"event on undeclared app",
+			func(s string) string {
+				return strings.Replace(s, `"kind": "switchto", "app": "a"`, `"kind": "switchto", "app": "ghost"`, 1)
+			},
+			`targets undeclared app`,
+		},
+		{
+			"at out of range",
+			func(s string) string { return strings.Replace(s, `"at": 700`, `"at": 7000`, 1) },
+			`outside [0,1000]`,
+		},
+		{
+			"duplicate app names",
+			func(s string) string {
+				return strings.Replace(s, `{"name": "b", "workload": "jetboy.main"}`, `{"name": "a", "workload": "jetboy.main"}`, 1)
+			},
+			`duplicate app "a"`,
+		},
+		{
+			"empty timeline",
+			func(s string) string {
+				i := strings.Index(s, `"timeline"`)
+				return s[:i] + "\"timeline\": []\n}\n"
+			},
+			`empty timeline`,
+		},
+	}
+	for _, tc := range cases {
+		path := writeScenarioFile(t, "bad.json", tc.mutate(validScenarioDoc))
+		code, _, errOut := invoke(t, "scenario", "-file", path)
+		if code == 0 {
+			t.Errorf("%s: agave scenario -file exited 0", tc.name)
+			continue
+		}
+		if !strings.Contains(errOut, tc.wantErr) {
+			t.Errorf("%s: stderr %q does not contain %q", tc.name, errOut, tc.wantErr)
+		}
+		if !strings.Contains(errOut, "bad.json") {
+			t.Errorf("%s: stderr %q does not name the file", tc.name, errOut)
+		}
+	}
+	// A missing file is an ordinary run failure, not a usage error.
+	code, _, errOut := invoke(t, "scenario", "-file", filepath.Join(t.TempDir(), "absent.json"))
+	if code != 1 || !strings.Contains(errOut, "absent.json") {
+		t.Fatalf("missing file: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestScenarioFileNameCollision: a file-loaded scenario may not alias a
+// named bundled scenario on the same axis — the text matrix carries no
+// provenance column, so two cells with one name would be indistinguishable.
+func TestScenarioFileNameCollision(t *testing.T) {
+	commute := strings.Replace(validScenarioDoc, `"name": "pair"`, `"name": "commute"`, 1)
+	path := writeScenarioFile(t, "commute.json", commute)
+	code, _, errOut := invoke(t, "scenario", "commute", "-file", path)
+	if code != 1 || !strings.Contains(errOut, `duplicate scenario name "commute"`) {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestScenarioRepeatedNameRejected: the same scenario twice on one axis is
+// rejected on both subcommands — repeated cells would render identical,
+// indistinguishable rows.
+func TestScenarioRepeatedNameRejected(t *testing.T) {
+	code, _, errOut := invoke(t, "scenario", "commute", "commute")
+	if code != 1 || !strings.Contains(errOut, `duplicate scenario name "commute"`) {
+		t.Fatalf("scenario: code=%d stderr=%q", code, errOut)
+	}
+	code, _, errOut = invoke(t, "suite", "-bench", "countdown.main", "-scenarios", "commute,commute")
+	if code != 1 || !strings.Contains(errOut, `duplicate scenario name "commute"`) {
+		t.Fatalf("suite: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestCrossSubcommandScenarioFlagsRejected: the subcommands share one
+// FlagSet, so a flag belonging to the other subcommand parses — it must be
+// rejected, never silently ignored (a requested scenario source silently
+// absent from the matrix is worse than an error).
+func TestCrossSubcommandScenarioFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"suite -file", []string{"suite", "-bench", "countdown.main", "-file", "x.json"},
+			"-file applies to the scenario subcommand"},
+		{"suite -export", []string{"suite", "-export", "commute"},
+			"-export applies to the scenario subcommand"},
+		{"scenario -scenario-dir", []string{"scenario", "commute", "-scenario-dir", "d"},
+			"-scenario-dir applies to the suite subcommand"},
+		{"scenario -gen-scenarios", []string{"scenario", "commute", "-gen-scenarios", "3"},
+			"-gen-scenarios applies to the suite subcommand"},
+		{"scenario -gen-apps", []string{"scenario", "commute", "-gen-apps", "12"},
+			"-gen-apps applies to the suite subcommand"},
+		{"scenario -gen-seed at default", []string{"scenario", "commute", "-gen-seed", "1"},
+			"-gen-seed applies to the suite subcommand"},
+		{"-export with names", []string{"scenario", "commute", "-export", "social-burst"},
+			"-export cannot be combined"},
+		{"-export with -file", []string{"scenario", "-export", "commute", "-file", "x.json"},
+			"-export cannot be combined"},
+		{"-list with -file", []string{"scenario", "-list", "-file", "x.json"},
+			"-list cannot be combined"},
+		{"-list with -export", []string{"scenario", "-list", "-export", "commute"},
+			"-list cannot be combined"},
+		{"-list with names", []string{"scenario", "commute", "-list"},
+			"-list cannot be combined"},
+		{"run -file", []string{"run", "countdown.main", "-file", "x.json"},
+			"-file applies to the scenario subcommand"},
+		{"fig1 -scenario-dir", []string{"fig1", "-scenario-dir", "d"},
+			"-scenario-dir applies to the suite subcommand"},
+		{"all -export", []string{"all", "-export", "commute"},
+			"-export applies to the scenario subcommand"},
+		{"gen knob without count", []string{"suite", "-bench", "countdown.main", "-gen-apps", "12"},
+			"-gen-apps requires -gen-scenarios"},
+		{"gen seed without count", []string{"suite", "-bench", "countdown.main", "-gen-seed", "4"},
+			"-gen-seed requires -gen-scenarios"},
+	}
+	for _, tc := range cases {
+		code, _, errOut := invoke(t, tc.args...)
+		if code != 2 || !strings.Contains(errOut, tc.wantErr) {
+			t.Errorf("%s: code=%d stderr=%q", tc.name, code, errOut)
+		}
+	}
+}
+
+// TestSuiteNegativeGenKnobsRejected: zero selects a default, but a negative
+// generator knob is a usage error, matching -gen-scenarios.
+func TestSuiteNegativeGenKnobsRejected(t *testing.T) {
+	for _, knob := range []string{"-gen-apps", "-gen-events", "-gen-pressure"} {
+		code, _, errOut := invoke(t, "suite", "-bench", "countdown.main",
+			"-gen-scenarios", "1", knob, "-5")
+		if code != 2 || !strings.Contains(errOut, "must not be negative") {
+			t.Fatalf("%s: code=%d stderr=%q", knob, code, errOut)
+		}
+	}
+}
+
+// TestScenarioExportUnknownName: exporting something not in the library
+// fails with the library's error.
+func TestScenarioExportUnknownName(t *testing.T) {
+	code, _, errOut := invoke(t, "scenario", "-export", "no-such-session")
+	if code != 1 || !strings.Contains(errOut, `unknown scenario "no-such-session"`) {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestSuiteScenarioDirAxis: every *.json document of -scenario-dir becomes
+// a plan cell, and a duplicate name across the axis is rejected.
+func TestSuiteScenarioDirAxis(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pair.json"), []byte(validScenarioDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	solo := strings.Replace(validScenarioDoc, `"name": "pair"`, `"name": "solo"`, 1)
+	if err := os.WriteFile(filepath.Join(dir, "solo.json"), []byte(solo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"suite", "-bench", "countdown.main", "-scenario-dir", dir, "-parallel", "2"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "suite: 3 runs (1 benchmarks + 2 scenarios × 1 seeds × 1 ablations)") {
+		t.Fatalf("suite header missing scenario-dir axis:\n%s", out)
+	}
+	for _, want := range []string{"scenario:pair", "scenario:solo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("suite matrix missing %s:\n%s", want, out)
+		}
+	}
+	// An empty directory is an error, not a silent no-op.
+	code, _, errOut = invoke(t, "suite", "-bench", "countdown.main", "-scenario-dir", t.TempDir())
+	if code != 1 || !strings.Contains(errOut, "no *.json scenario files") {
+		t.Fatalf("empty dir: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestSuiteGeneratedScenarioAxis: -gen-scenarios N expands into N generated
+// plan cells at consecutive generation seeds, with the knobs in the names.
+func TestSuiteGeneratedScenarioAxis(t *testing.T) {
+	args := append([]string{"suite", "-bench", "countdown.main",
+		"-gen-scenarios", "2", "-gen-seed", "11", "-gen-apps", "3", "-gen-events", "9",
+		"-parallel", "2"}, quick...)
+	code, out, errOut := invoke(t, args...)
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, errOut)
+	}
+	if !strings.Contains(out, "suite: 3 runs (1 benchmarks + 2 scenarios × 1 seeds × 1 ablations)") {
+		t.Fatalf("suite header missing generated axis:\n%s", out)
+	}
+	for _, want := range []string{"scenario:gen-s11-a3-e9-p0", "scenario:gen-s12-a3-e9-p0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("suite matrix missing %s:\n%s", want, out)
+		}
+	}
+	code, _, errOut = invoke(t, "suite", "-bench", "countdown.main", "-gen-scenarios", "-1")
+	if code != 2 || !strings.Contains(errOut, "-gen-scenarios must not be negative") {
+		t.Fatalf("negative gen count: code=%d stderr=%q", code, errOut)
+	}
+}
+
+// TestSuiteScenarioAxisNameCollision: a generated or file-loaded scenario
+// may not shadow a bundled scenario selected on the same axis.
+func TestSuiteScenarioAxisNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	commute := strings.Replace(validScenarioDoc, `"name": "pair"`, `"name": "commute"`, 1)
+	if err := os.WriteFile(filepath.Join(dir, "commute.json"), []byte(commute), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := invoke(t, "suite", "-bench", "countdown.main",
+		"-scenarios", "commute", "-scenario-dir", dir)
+	if code != 1 || !strings.Contains(errOut, `duplicate scenario name "commute"`) {
 		t.Fatalf("code=%d stderr=%q", code, errOut)
 	}
 }

@@ -168,6 +168,15 @@ func RunScenario(name string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return RunScenarioDef(sc, cfg)
+}
+
+// RunScenarioDef executes a scenario definition directly — the entry point
+// for sessions that are not in the bundled registry: documents decoded from
+// scenario files and generator output. The definition is validated by the
+// engine before anything boots, so an ill-formed ad-hoc scenario fails
+// cleanly.
+func RunScenarioDef(sc *scenario.Scenario, cfg Config) (*Result, error) {
 	r, err := scenario.Run(sc, scenario.Config{
 		Seed:                 cfg.Seed,
 		Duration:             cfg.Duration,
@@ -230,7 +239,9 @@ func NewEngine(base Config, parallel int) suite.Engine[*Result] {
 			cfg := base.forSpec(s)
 			var r *Result
 			var err error
-			if s.Scenario {
+			if s.Scenario && s.Def != nil {
+				r, err = RunScenarioDef(s.Def, cfg)
+			} else if s.Scenario {
 				r, err = RunScenario(s.Benchmark, cfg)
 			} else {
 				r, err = Run(s.Benchmark, cfg)

@@ -103,7 +103,7 @@ type planJSON struct {
 func WriteSuiteJSON(w io.Writer, p suite.Plan, parallel int,
 	outputs []suite.RunOutput[*core.Result]) error {
 	doc := suiteJSON{
-		Plan: planJSON{Benchmarks: p.Benchmarks, Scenarios: p.Scenarios,
+		Plan: planJSON{Benchmarks: p.Benchmarks, Scenarios: p.ScenarioNames(),
 			Seeds: p.Seeds, Parallel: parallel},
 		Runs: MatrixRows(outputs),
 	}

@@ -28,7 +28,13 @@ type ScenarioAppRow struct {
 // ScenarioRow is one completed scenario run, flattened for rendering. All
 // fields are deterministic for a (scenario, seed, ablation) triple.
 type ScenarioRow struct {
-	Scenario      string `json:"scenario"`
+	Scenario string `json:"scenario"`
+	// Source is the scenario definition's provenance: omitted for bundled
+	// library sessions, "file:<name>" for scenario documents loaded from
+	// disk, "gen(...)" for generator output. Provenance never appears in
+	// the text matrix, so a file-loaded copy of a bundled scenario renders
+	// a byte-identical default report.
+	Source        string `json:"source,omitempty"`
 	Seed          uint64 `json:"seed"`
 	Ablation      string `json:"ablation"`
 	Events        int    `json:"events"`
@@ -75,6 +81,7 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 			Fingerprint:   r.Stats.Fingerprint(),
 		}
 		if s := r.Session; s != nil {
+			row.Source = s.Source
 			row.Events = s.Events
 			row.MaxLiveApps = s.MaxLive
 			row.LMKKills = s.LMKKills
@@ -135,7 +142,7 @@ type scenarioJSON struct {
 // whose bytes depend only on the plan and the seeds.
 func WriteScenarioJSON(w io.Writer, p suite.Plan, outputs []suite.RunOutput[*core.Result]) error {
 	doc := scenarioJSON{
-		Plan: scenarioPlanJSON{Scenarios: p.Scenarios, Seeds: p.Seeds},
+		Plan: scenarioPlanJSON{Scenarios: p.ScenarioNames(), Seeds: p.Seeds},
 		Runs: ScenarioRows(outputs),
 	}
 	for _, a := range p.Ablations {

@@ -48,6 +48,10 @@ type Config struct {
 // counts.
 type Result struct {
 	Scenario string
+	// Source is the scenario's provenance (empty = bundled library; see
+	// Scenario.Source), copied through so reports can label where each
+	// session definition came from.
+	Source string
 	// Apps is the session's app roster (name → workload), copied from the
 	// scenario so downstream consumers can resolve per-app attribution
 	// without re-looking the scenario up in any registry.
@@ -162,6 +166,7 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 
 	return &Result{
 		Scenario:      s.Name,
+		Source:        s.Source,
 		Apps:          append([]App(nil), s.Apps...),
 		Stats:         k.Stats,
 		Processes:     k.ProcessCount(),

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeScenario fuzzes the JSON scenario codec. The corpus is seeded
+// with the canonical encodings of every bundled scenario (the same documents
+// committed under testdata/scenarios) plus a few deliberately-hostile
+// shapes. The invariants:
+//
+//  1. Decode never panics, whatever the bytes.
+//  2. Anything Decode accepts passes Scenario.Validate — the parse boundary
+//     establishes the engine's precondition.
+//  3. Accepted input round-trips: decode→encode→decode reproduces the exact
+//     canonical bytes, so the canonical form is a fixed point and no field
+//     is silently dropped or coerced.
+func FuzzDecodeScenario(f *testing.F) {
+	for _, s := range Library() {
+		doc, err := Encode(s)
+		if err != nil {
+			f.Fatalf("%s: seed corpus encode: %v", s.Name, err)
+		}
+		f.Add(doc)
+	}
+	for _, g := range []GenConfig{{Seed: 1, Apps: 10}, {Seed: 2, Apps: 3, Events: 9, Pressure: 2}} {
+		doc, err := Encode(Generate(g))
+		if err != nil {
+			f.Fatalf("generator seed corpus: %v", err)
+		}
+		f.Add(doc)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","apps":[{"name":"a","workload":"countdown.main"}],"timeline":[{"at":1e3,"kind":"launch","app":"a"}]}`))
+	f.Add([]byte(`{"name":"x","apps":null,"timeline":null}`))
+	f.Add([]byte("[]"))
+	f.Add([]byte("{\"name\":\"\x00\",\"apps\":[{\"name\":\"a\",\"workload\":\"countdown.main\"}],\"timeline\":[{\"at\":0,\"kind\":\"launch\",\"app\":\"a\"}]}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid scenario: %v\ninput: %q", err, data)
+		}
+		doc, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not re-encode: %v", err)
+		}
+		s2, err := Decode(doc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not re-decode: %v\nencoding: %s", err, doc)
+		}
+		doc2, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("re-decoded scenario does not encode: %v", err)
+		}
+		if !bytes.Equal(doc, doc2) {
+			t.Fatalf("round trip is not a fixed point:\nfirst:  %s\nsecond: %s", doc, doc2)
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Seeded procedural scenario generation: the suite's answer to "as many
+// scenarios as you can imagine". The bundled library is eight hand-written
+// sessions; Generate turns scenario diversity into a sweep axis instead — a
+// (seed, app count, event density, pressure) tuple deterministically expands
+// into a valid multi-app session, so a plan can cross N generated sessions
+// with seeds and ablations exactly as it crosses bundled ones, and any
+// interesting point of the space can be pinned down, exported to JSON with
+// Encode, and committed as a regression scenario.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"agave/internal/apps"
+	"agave/internal/sim"
+)
+
+// GenConfig parameterizes one generated scenario. The zero value of each
+// knob selects a sensible default, so GenConfig{Seed: 7} alone is a valid
+// request.
+type GenConfig struct {
+	// Seed drives every generation decision; equal configs generate
+	// byte-identical scenarios (the generator is a pure function).
+	Seed uint64
+	// Apps is the session's app count. Every app is launched before the
+	// first kill, so this is also the peak concurrently-live census —
+	// MaxLiveApps of the generated scenario is exactly Apps. <= 0 selects
+	// the 10-app default, the "scale the session dimension" bar.
+	Apps int
+	// Events is the timeline length (event density). Values below Apps+2
+	// are raised to Apps+2: the timeline must at least launch every app
+	// and still have room to exercise a lifecycle transition. <= 0 selects
+	// four events per app.
+	Events int
+	// Pressure scales the external memory demand woven into the timeline:
+	// 0 generates no Pressure events, 1 stays in onTrimMemory territory on
+	// the default machine, higher values push free pages toward the
+	// lowmemorykiller's minfree ladder. Negative values are treated as 0.
+	Pressure int
+}
+
+// DefaultGenApps is the default generated-session scale: 10 concurrently
+// live apps.
+const DefaultGenApps = 10
+
+// normalize resolves the config's defaults and floors.
+func (cfg GenConfig) normalize() GenConfig {
+	if cfg.Apps <= 0 {
+		cfg.Apps = DefaultGenApps
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 4 * cfg.Apps
+	}
+	if cfg.Events < cfg.Apps+2 {
+		cfg.Events = cfg.Apps + 2
+	}
+	if cfg.Pressure < 0 {
+		cfg.Pressure = 0
+	}
+	return cfg
+}
+
+// Name is the generated scenario's identifier: the full knob tuple, so a
+// name alone reproduces the session ("gen-s7-a10-e40-p2").
+func (cfg GenConfig) Name() string {
+	cfg = cfg.normalize()
+	return fmt.Sprintf("gen-s%d-a%d-e%d-p%d", cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure)
+}
+
+// Generate deterministically expands the config into a valid scenario:
+// every app (workload drawn from the Agave suite) is launched in the
+// timeline's opening phase, then the remaining event budget is spent on
+// legal lifecycle churn — switches, backgrounds, kill/relaunch cycles,
+// idle gaps, and (when Pressure > 0) external memory demand. The result
+// always passes Validate, and its MaxLiveApps equals the requested app
+// count; generation cannot fail.
+func Generate(cfg GenConfig) *Scenario {
+	cfg = cfg.normalize()
+	rng := sim.NewRNG(cfg.Seed)
+	workloads := apps.Names()
+
+	s := &Scenario{
+		Name: cfg.Name(),
+		Description: fmt.Sprintf("generated session: %d apps, %d events, pressure %d, seed %d",
+			cfg.Apps, cfg.Events, cfg.Pressure, cfg.Seed),
+		Source: fmt.Sprintf("gen(seed=%d apps=%d events=%d pressure=%d)",
+			cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure),
+	}
+	for i := 0; i < cfg.Apps; i++ {
+		s.Apps = append(s.Apps, App{
+			Name:     fmt.Sprintf("app%02d", i),
+			Workload: workloads[rng.Intn(len(workloads))],
+		})
+	}
+
+	// Event times: a sorted draw over the whole interval reads more like a
+	// real session than an even grid. Equal adjacent times are legal (the
+	// timeline only has to be nondecreasing).
+	times := make([]Fraction, cfg.Events)
+	for i := range times {
+		times[i] = Fraction(rng.Intn(1001))
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	// Opening phase: launch everything. All apps are live before the first
+	// churn event, which is what pins MaxLiveApps to the requested scale.
+	live := make([]string, 0, cfg.Apps)
+	dead := make([]string, 0, cfg.Apps)
+	for i, a := range s.Apps {
+		s.Timeline = append(s.Timeline, Event{At: times[i], Kind: Launch, App: a.Name})
+		live = append(live, a.Name)
+	}
+
+	// pick removes and returns a random element of *from.
+	pick := func(from *[]string) string {
+		i := rng.Intn(len(*from))
+		name := (*from)[i]
+		*from = append((*from)[:i], (*from)[i+1:]...)
+		return name
+	}
+
+	// Churn phase: spend the remaining budget on legal transitions. Weights
+	// favor foreground hops — the notification-chasing pattern the paper's
+	// multi-app argument rests on — with kills rare enough that most of the
+	// roster stays live.
+	for i := cfg.Apps; i < cfg.Events; i++ {
+		at := times[i]
+		roll := rng.Intn(100)
+		switch {
+		case cfg.Pressure > 0 && roll < 15:
+			// External demand scaled by the pressure knob; occasional
+			// deflation so long sessions breathe.
+			pages := int64(rng.Range(8_000, 20_000) * cfg.Pressure)
+			if rng.Bool(0.2) {
+				pages = -pages / 2
+			}
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Pressure, Pages: pages})
+		case roll < 25:
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Idle})
+		case roll < 40 && len(dead) > 0:
+			// Relaunch a killed app: zygote fork and binder re-registration
+			// under churn. Live count returns toward the peak, never past it.
+			name := pick(&dead)
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Launch, App: name})
+			live = append(live, name)
+		case roll < 50 && len(live) > 1:
+			// Kill one live app; keep at least one alive so the session
+			// never degenerates into pure idle.
+			name := pick(&live)
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Kill, App: name})
+			dead = append(dead, name)
+		case roll < 70 && len(live) > 0:
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Background, App: live[rng.Intn(len(live))]})
+		case len(live) > 0:
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: SwitchTo, App: live[rng.Intn(len(live))]})
+		default:
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: Idle})
+		}
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGenerateValidAcross100Seeds is the generator-validity bar: 100 seeds
+// crossed with varied knob settings must all produce scenarios that pass
+// Validate and whose peak concurrently-live census equals the requested
+// scale — including the 10-plus-live-apps sessions the ROADMAP's scale item
+// calls for.
+func TestGenerateValidAcross100Seeds(t *testing.T) {
+	knobs := []GenConfig{
+		{Apps: 2, Events: 8},
+		{Apps: 5, Events: 30, Pressure: 1},
+		{Apps: 10},                          // the default density at the 10-app scale
+		{Apps: 12, Events: 80, Pressure: 3}, // beyond the bar, pressure-heavy
+	}
+	for seed := uint64(0); seed < 100; seed++ {
+		for _, k := range knobs {
+			k.Seed = seed
+			s := Generate(k)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d knobs %+v: %v", seed, k, err)
+			}
+			if got := s.MaxLiveApps(); got != k.Apps {
+				t.Fatalf("seed %d knobs %+v: MaxLiveApps = %d, want %d", seed, k, got, k.Apps)
+			}
+			wantEvents := k.Events
+			if wantEvents == 0 {
+				wantEvents = 4 * k.Apps // the documented default density
+			}
+			if len(s.Timeline) != wantEvents {
+				t.Fatalf("seed %d knobs %+v: %d events, want %d", seed, k, len(s.Timeline), wantEvents)
+			}
+		}
+	}
+}
+
+// TestGenerateIsDeterministic: the generator is a pure function of its
+// config — equal configs must produce byte-identical canonical encodings,
+// and different seeds must actually diversify the session.
+func TestGenerateIsDeterministic(t *testing.T) {
+	cfg := GenConfig{Seed: 42, Apps: 6, Events: 24, Pressure: 2}
+	a, err := Encode(Generate(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(Generate(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal configs generated different scenarios")
+	}
+	cfg.Seed = 43
+	c, err := Encode(Generate(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds generated identical scenarios")
+	}
+}
+
+// TestGenerateDefaultsAndName: zero knobs resolve to the documented
+// defaults, the name encodes the full effective tuple, and Source records
+// generator provenance.
+func TestGenerateDefaultsAndName(t *testing.T) {
+	s := Generate(GenConfig{Seed: 7})
+	if len(s.Apps) != DefaultGenApps {
+		t.Fatalf("default app count = %d, want %d", len(s.Apps), DefaultGenApps)
+	}
+	if s.Name != "gen-s7-a10-e40-p0" {
+		t.Fatalf("generated name = %q", s.Name)
+	}
+	if s.Source == "" {
+		t.Fatal("generated scenario carries no provenance")
+	}
+	// The events floor: a budget below apps+2 is raised so every app still
+	// launches and at least one churn event remains.
+	tight := Generate(GenConfig{Seed: 1, Apps: 8, Events: 3})
+	if len(tight.Timeline) != 10 {
+		t.Fatalf("events floor: %d events, want 10 (apps+2)", len(tight.Timeline))
+	}
+	if tight.MaxLiveApps() != 8 {
+		t.Fatalf("events floor broke the scale guarantee: MaxLiveApps = %d", tight.MaxLiveApps())
+	}
+}
+
+// TestGeneratePressureKnobEmitsPressure: with the knob up, the timeline
+// carries Pressure events; with it at zero, it never does.
+func TestGeneratePressureKnobEmitsPressure(t *testing.T) {
+	// The knob is probabilistic per event, so scan a few seeds: every
+	// pressured session across them must come from the knob, and at least
+	// one must actually contain a Pressure event.
+	sawPressure := false
+	for seed := uint64(0); seed < 5; seed++ {
+		withKnob := Generate(GenConfig{Seed: seed, Apps: 4, Events: 40, Pressure: 2})
+		without := Generate(GenConfig{Seed: seed, Apps: 4, Events: 40})
+		for _, ev := range without.Timeline {
+			if ev.Kind == Pressure {
+				t.Fatalf("seed %d: pressure 0 emitted a Pressure event", seed)
+			}
+		}
+		for _, ev := range withKnob.Timeline {
+			if ev.Kind == Pressure {
+				sawPressure = true
+				if ev.Pages == 0 {
+					t.Fatalf("seed %d: Pressure event with zero pages", seed)
+				}
+			}
+		}
+	}
+	if !sawPressure {
+		t.Fatal("pressure knob 2 emitted no Pressure event across 5 seeds")
+	}
+}
+
+// TestGeneratedScenarioRoundTripsThroughCodec: generator output is ordinary
+// scenario data — exportable and re-importable like any authored document.
+func TestGeneratedScenarioRoundTripsThroughCodec(t *testing.T) {
+	s := Generate(GenConfig{Seed: 9, Apps: 10, Events: 50, Pressure: 1})
+	doc, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc, doc2) {
+		t.Fatal("generated scenario does not round-trip through the codec")
+	}
+}

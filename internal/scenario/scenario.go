@@ -118,6 +118,12 @@ type Scenario struct {
 	Apps []App
 	// Timeline is the event script, ordered by At.
 	Timeline []Event
+	// Source records where the scenario came from: empty for the bundled
+	// library, "file:<name>" for scenario documents loaded from disk,
+	// "gen(...)" for generator output. Provenance describes the document's
+	// origin, not the session, so it is never part of the JSON encoding —
+	// a file-loaded copy of a bundled scenario replays bit-identically.
+	Source string
 }
 
 // reservedNames are process names the booted system already owns; scenario

@@ -6,10 +6,12 @@
 package suite_test
 
 import (
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"agave/internal/core"
+	"agave/internal/scenario"
 	"agave/internal/sim"
 	"agave/internal/suite"
 )
@@ -96,6 +98,108 @@ func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
 		if !reflect.DeepEqual(sr.Stats.Entries(), pr.Stats.Entries()) {
 			t.Errorf("%s: attributed counter matrices diverged", name)
 		}
+	}
+}
+
+// TestAdHocScenarioSweepBitIdenticalToSerial extends the determinism
+// guarantee to the two scenario sources that bypass the bundled registry:
+// documents decoded from committed scenario files and generator output
+// (including a 10-app session, the scale bar, and a pressure-knob session
+// with emergent lowmemorykiller activity). Same plan, same seeds: the
+// 8-worker sweep must be bit-identical to the serial one, counter matrix
+// and census included, exactly as for bundled units.
+func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run ad-hoc scenario sweep")
+	}
+	fromFile, err := scenario.FromFile(filepath.Join("..", "..", "testdata", "scenarios", "social-burst.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := suite.Plan{
+		ScenarioSet: []*scenario.Scenario{
+			fromFile,
+			scenario.Generate(scenario.GenConfig{Seed: 3, Apps: 10}),
+			scenario.Generate(scenario.GenConfig{Seed: 4, Apps: 5, Events: 30, Pressure: 2}),
+		},
+		Seeds: []uint64{1, 7},
+	}
+	cfg := quickCfg()
+	serial, err := core.RunPlan(cfg, plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.RunPlan(cfg, plan, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != plan.Size() || len(parallel) != plan.Size() {
+		t.Fatalf("run counts: serial %d, parallel %d, want %d", len(serial), len(parallel), plan.Size())
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if p.Spec != s.Spec {
+			t.Fatalf("run %d: spec order diverged: serial %s, parallel %s", i, s.Spec, p.Spec)
+		}
+		name := s.Spec.String()
+		sr, pr := s.Result, p.Result
+		if sr.Session == nil || pr.Session == nil {
+			t.Fatalf("%s: ad-hoc scenario run carries no session result", name)
+		}
+		if sr.Session.Source == "" {
+			t.Errorf("%s: ad-hoc scenario run carries no provenance", name)
+		}
+		if sf, pf := sr.Stats.Fingerprint(), pr.Stats.Fingerprint(); sf != pf {
+			t.Errorf("%s: counter fingerprint diverged: %#x vs %#x", name, sf, pf)
+		}
+		if !reflect.DeepEqual(sr.Stats.Entries(), pr.Stats.Entries()) {
+			t.Errorf("%s: attributed counter matrices diverged", name)
+		}
+		if sr.Processes != pr.Processes || sr.Threads != pr.Threads ||
+			sr.LiveProcesses != pr.LiveProcesses {
+			t.Errorf("%s: census diverged", name)
+		}
+		if !reflect.DeepEqual(sr.Session.LMKVictims, pr.Session.LMKVictims) ||
+			sr.Session.Trims != pr.Session.Trims {
+			t.Errorf("%s: pressure outcome diverged: %v/%d vs %v/%d", name,
+				sr.Session.LMKVictims, sr.Session.Trims, pr.Session.LMKVictims, pr.Session.Trims)
+		}
+	}
+	// The 10-app generated session must actually hit the requested scale at
+	// runtime, not only statically: peak live census is part of the result.
+	for _, o := range serial {
+		if o.Spec.Def != nil && o.Spec.Benchmark == "gen-s3-a10-e40-p0" && o.Result.Session.MaxLive != 10 {
+			t.Errorf("10-app generated session peaked at %d live apps", o.Result.Session.MaxLive)
+		}
+	}
+}
+
+// TestScenarioSetSpecsExpandAfterNamedScenarios pins the extended plan
+// order: benchmarks, then named scenarios, then the ad-hoc scenario set,
+// with Def carried on set specs only.
+func TestScenarioSetSpecsExpandAfterNamedScenarios(t *testing.T) {
+	gen := scenario.Generate(scenario.GenConfig{Seed: 2, Apps: 2, Events: 6})
+	plan := suite.Plan{
+		Benchmarks:  []string{"countdown.main"},
+		Scenarios:   []string{"commute"},
+		ScenarioSet: []*scenario.Scenario{gen},
+		Seeds:       []uint64{1},
+	}
+	specs := plan.Specs()
+	if len(specs) != 3 || plan.Size() != 3 {
+		t.Fatalf("expanded %d specs (Size %d), want 3", len(specs), plan.Size())
+	}
+	if specs[0].Scenario || specs[0].Def != nil {
+		t.Fatalf("benchmark spec malformed: %+v", specs[0])
+	}
+	if !specs[1].Scenario || specs[1].Def != nil || specs[1].Benchmark != "commute" {
+		t.Fatalf("named scenario spec malformed: %+v", specs[1])
+	}
+	if !specs[2].Scenario || specs[2].Def != gen || specs[2].Benchmark != gen.Name {
+		t.Fatalf("scenario-set spec malformed: %+v", specs[2])
+	}
+	if got := specs[2].UnitName(); got != "scenario:"+gen.Name {
+		t.Fatalf("UnitName = %q", got)
 	}
 }
 

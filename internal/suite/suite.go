@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"agave/internal/scenario"
 	"agave/internal/sim"
 	"agave/internal/stats"
 )
@@ -64,20 +65,43 @@ func (a Ablation) Label() string {
 // Empty Seeds defaults to {1}; empty Ablations defaults to {Baseline}.
 type Plan struct {
 	Benchmarks []string
-	Scenarios  []string
-	Seeds      []uint64
-	Ablations  []Ablation
+	// Scenarios names bundled library scenarios.
+	Scenarios []string
+	// ScenarioSet holds ad-hoc scenario definitions — loaded from files or
+	// produced by the generator — that run as plan cells exactly like the
+	// named bundled ones: crossed with every seed and ablation, under the
+	// same ordered-collection determinism guarantee.
+	ScenarioSet []*scenario.Scenario
+	Seeds       []uint64
+	Ablations   []Ablation
 }
 
 // Size reports how many runs the plan expands to.
 func (p Plan) Size() int {
-	return (len(p.Benchmarks) + len(p.Scenarios)) * max(len(p.Seeds), 1) * max(len(p.Ablations), 1)
+	units := len(p.Benchmarks) + len(p.Scenarios) + len(p.ScenarioSet)
+	return units * max(len(p.Seeds), 1) * max(len(p.Ablations), 1)
+}
+
+// ScenarioNames flattens the plan's whole scenario axis — named bundled
+// scenarios, then the ad-hoc set — in the same order Specs expands it.
+// Report writers use this so the JSON plan header can never desynchronize
+// from the run rows.
+func (p Plan) ScenarioNames() []string {
+	if len(p.Scenarios) == 0 && len(p.ScenarioSet) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(p.Scenarios)+len(p.ScenarioSet))
+	names = append(names, p.Scenarios...)
+	for _, sc := range p.ScenarioSet {
+		names = append(names, sc.Name)
+	}
+	return names
 }
 
 // Specs expands the plan into the deterministic run order: benchmarks
-// first, then scenarios — each unit-major, then seed, then ablation. This
-// order — not completion order — is the order results are collected and
-// emitted in.
+// first, then named scenarios, then the ad-hoc scenario set — each
+// unit-major, then seed, then ablation. This order — not completion order —
+// is the order results are collected and emitted in.
 func (p Plan) Specs() []RunSpec {
 	seeds := p.Seeds
 	if len(seeds) == 0 {
@@ -88,13 +112,14 @@ func (p Plan) Specs() []RunSpec {
 		ablations = []Ablation{Baseline}
 	}
 	specs := make([]RunSpec, 0, p.Size())
-	add := func(name string, scenario bool) {
+	add := func(name string, isScenario bool, def *scenario.Scenario) {
 		for _, s := range seeds {
 			for _, a := range ablations {
 				specs = append(specs, RunSpec{
 					Index:     len(specs),
 					Benchmark: name,
-					Scenario:  scenario,
+					Scenario:  isScenario,
+					Def:       def,
 					Seed:      s,
 					Ablation:  a,
 				})
@@ -102,10 +127,13 @@ func (p Plan) Specs() []RunSpec {
 		}
 	}
 	for _, b := range p.Benchmarks {
-		add(b, false)
+		add(b, false, nil)
 	}
 	for _, s := range p.Scenarios {
-		add(s, true)
+		add(s, true, nil)
+	}
+	for _, sc := range p.ScenarioSet {
+		add(sc.Name, true, sc)
 	}
 	return specs
 }
@@ -117,8 +145,12 @@ type RunSpec struct {
 	// is set — a scripted multi-app scenario.
 	Benchmark string
 	Scenario  bool
-	Seed      uint64
-	Ablation  Ablation
+	// Def carries the scenario definition when the unit is an ad-hoc
+	// scenario (file-loaded or generated); nil means Benchmark names a
+	// bundled library scenario (or a plain benchmark).
+	Def      *scenario.Scenario
+	Seed     uint64
+	Ablation Ablation
 }
 
 // UnitName is the spec's display name: the benchmark name, or the scenario
