@@ -36,7 +36,8 @@
 //	-scenarios a,b     add bundled scenarios to the matrix as a plan axis
 //	-scenario-dir d    add every *.json scenario document in d to the matrix
 //	-gen-scenarios N   add N generated scenarios (seeds -gen-seed..+N-1);
-//	                   -gen-apps/-gen-events/-gen-pressure set the knobs
+//	                   -gen-apps/-gen-events/-gen-pressure/-gen-inputs set
+//	                   the knobs
 //	-json              emit plan, per-run rows, and summaries as JSON
 //
 // The scenario subcommand runs scripted multi-app sessions: apps launch,
@@ -45,7 +46,11 @@
 // memory-pressure model: a global physical-page budget, onTrimMemory
 // broadcasts when free pages run low, and a lowmemorykiller that evicts
 // processes by oom_adj score — so Pressure events in a timeline produce
-// emergent kills the report's lmk columns account for:
+// emergent kills the report's lmk columns account for. Timelines can also
+// inject input gestures (tap, key, swipe) that travel through
+// system_server's InputDispatcher to the focused app's looper; dispatched
+// and dropped counts plus per-app dispatch-latency statistics surface in
+// the report's input columns:
 //
 //	-minfree N       cached-app kill waterline in pages (0 = 8192 = 32 MB)
 //	-file path       run a scenario decoded from a JSON scenario document
@@ -110,6 +115,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	genApps := fs.Int("gen-apps", 0, "apps per generated scenario (0 = 10, the concurrently-live peak)")
 	genEvents := fs.Int("gen-events", 0, "timeline events per generated scenario (0 = 4 per app)")
 	genPressure := fs.Int("gen-pressure", 0, "memory-pressure knob of generated scenarios (0 = none)")
+	genInputs := fs.Int("gen-inputs", 0, "input gestures (tap/key/swipe) per generated scenario (0 = none)")
 
 	switch cmd {
 	case "list":
@@ -225,7 +231,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if cmd != "suite" {
-		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure"} {
+		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs"} {
 			if setFlags[f] {
 				fmt.Fprintf(stderr, "agave %s: -%s applies to the suite subcommand\n", cmd, f)
 				return 2
@@ -236,7 +242,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	// generated sessions: reject the forgotten count, don't ignore the
 	// knobs.
 	if cmd == "suite" && *genScenarios == 0 {
-		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure"} {
+		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs"} {
 			if setFlags[f] {
 				fmt.Fprintf(stderr, "agave suite: -%s requires -gen-scenarios N\n", f)
 				return 2
@@ -262,7 +268,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if cmd == "suite" {
 		gen := genFlags{n: *genScenarios, seed: *genSeed, apps: *genApps,
-			events: *genEvents, pressure: *genPressure}
+			events: *genEvents, pressure: *genPressure, inputs: *genInputs}
 		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations,
 			*scenarioList, *scenarioDir, gen, *asJSON)
 	}
@@ -386,6 +392,7 @@ type genFlags struct {
 	apps     int
 	events   int
 	pressure int
+	inputs   int
 }
 
 // suiteCmd executes the suite subcommand: build the run matrix — benchmarks,
@@ -442,9 +449,9 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 	}
 	// The sibling knobs validate the same way: zero means "use the
 	// default", but a negative value is a typo, not a request.
-	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 {
-		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, and -gen-pressure must not be negative (got %d/%d/%d)\n",
-			gen.apps, gen.events, gen.pressure)
+	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 || gen.inputs < 0 {
+		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, -gen-pressure, and -gen-inputs must not be negative (got %d/%d/%d/%d)\n",
+			gen.apps, gen.events, gen.pressure, gen.inputs)
 		return 2
 	}
 	for i := 0; i < gen.n; i++ {
@@ -453,6 +460,7 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			Apps:     gen.apps,
 			Events:   gen.events,
 			Pressure: gen.pressure,
+			Inputs:   gen.inputs,
 		}))
 	}
 	if !uniqueScenarioAxis(stderr, "suite", scenarios, set) {

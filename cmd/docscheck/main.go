@@ -1,0 +1,165 @@
+// Command docscheck is the documentation gate CI's docs job runs. It
+// enforces two invariants that rot silently otherwise:
+//
+//  1. Every package under internal/ carries exactly one package-level godoc
+//     comment, and it begins "Package <name> ", so `go doc ./internal/<pkg>`
+//     explains the layer without reading source. More than one doc comment
+//     is also an error — Go picks one arbitrarily, which is how a package's
+//     real overview ends up shadowed by a file-local preamble.
+//  2. Every relative link in the repository's markdown files resolves to an
+//     existing file or directory, so the architecture map and README never
+//     point at paths a refactor moved.
+//
+// Usage: docscheck [repo-root] (default ".", exits non-zero on any finding).
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	os.Exit(run(root, os.Stdout, os.Stderr))
+}
+
+// run performs both checks and reports every finding (not just the first),
+// returning 0 only when the tree is clean.
+func run(root string, stdout, stderr io.Writer) int {
+	var findings []string
+	pkgFindings, err := checkPackageComments(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "docscheck:", err)
+		return 2
+	}
+	findings = append(findings, pkgFindings...)
+	linkFindings, err := checkMarkdownLinks(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "docscheck:", err)
+		return 2
+	}
+	findings = append(findings, linkFindings...)
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintln(stderr, f)
+		}
+		fmt.Fprintf(stderr, "docscheck: %d finding(s)\n", len(findings))
+		return 1
+	}
+	fmt.Fprintln(stdout, "docscheck: ok")
+	return 0
+}
+
+// checkPackageComments verifies each internal/ package has exactly one
+// package doc comment of the canonical "Package <name> ..." form.
+func checkPackageComments(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, "internal", e.Name())
+		fset := token.NewFileSet()
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		var docs []string // files carrying a package doc comment
+		var docText string
+		for _, path := range files {
+			if strings.HasSuffix(path, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				return nil, err
+			}
+			if f.Doc != nil {
+				docs = append(docs, filepath.Base(path))
+				docText = f.Doc.Text()
+			}
+		}
+		rel := "internal/" + e.Name()
+		switch {
+		case len(docs) == 0:
+			findings = append(findings, fmt.Sprintf(
+				"%s: no package comment (add a \"Package %s ...\" doc comment)", rel, e.Name()))
+		case len(docs) > 1:
+			findings = append(findings, fmt.Sprintf(
+				"%s: %d package doc comments (%s) — keep one, detach the rest with a blank line",
+				rel, len(docs), strings.Join(docs, ", ")))
+		case !strings.HasPrefix(docText, "Package "+e.Name()+" "):
+			findings = append(findings, fmt.Sprintf(
+				"%s: package comment in %s does not begin \"Package %s \"", rel, docs[0], e.Name()))
+		}
+	}
+	return findings, nil
+}
+
+// mdLink matches inline markdown links/images; the destination is group 1.
+// Reference-style links are rare enough here that inline coverage is the
+// useful gate.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkMarkdownLinks resolves every relative link destination in the repo's
+// markdown files against the filesystem.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				dest := m[1]
+				if strings.Contains(dest, "://") || strings.HasPrefix(dest, "mailto:") ||
+					strings.HasPrefix(dest, "#") {
+					continue // external or intra-document
+				}
+				dest = strings.SplitN(dest, "#", 2)[0] // drop the fragment
+				if dest == "" {
+					continue
+				}
+				target := filepath.Join(filepath.Dir(path), dest)
+				if _, err := os.Stat(target); err != nil {
+					findings = append(findings, fmt.Sprintf(
+						"%s:%d: broken link %q", rel, lineNo+1, m[1]))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return findings, nil
+}

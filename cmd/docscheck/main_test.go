@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsClean runs both gates against this repository: every
+// internal package must carry its canonical package comment and every
+// relative markdown link must resolve. This is the same check CI's docs job
+// runs, enforced locally by `go test`.
+func TestRepositoryIsClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(filepath.Join("..", ".."), &out, &errOut); code != 0 {
+		t.Fatalf("docscheck found problems (exit %d):\n%s", code, errOut.String())
+	}
+}
+
+// TestDetectsMissingAndMalformedPackageComments builds a synthetic tree with
+// a comment-less package, a package with two doc comments, and a package
+// whose comment does not follow the "Package <name>" form — all three must
+// be findings.
+func TestDetectsMissingAndMalformedPackageComments(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/bare/bare.go", "package bare\n")
+	write("internal/twice/a.go", "// Package twice does things.\npackage twice\n")
+	write("internal/twice/b.go", "// Another preamble.\npackage twice\n")
+	write("internal/odd/odd.go", "// odd helpers live here.\npackage odd\n")
+	write("internal/good/good.go", "// Package good is documented.\npackage good\n")
+
+	var out, errOut strings.Builder
+	if code := run(root, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{
+		"internal/bare: no package comment",
+		"internal/twice: 2 package doc comments",
+		`internal/odd: package comment in odd.go does not begin "Package odd "`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("findings missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "internal/good") {
+		t.Errorf("clean package flagged:\n%s", got)
+	}
+}
+
+// TestDetectsBrokenMarkdownLinks: a relative link at a missing file is a
+// finding; external, anchor, and fragment-carrying links that resolve are
+// not.
+func TestDetectsBrokenMarkdownLinks(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "internal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	md := strings.Join([]string{
+		"[ok](real.md)",
+		"[ok-anchor](real.md#section)",
+		"[self](#here)",
+		"[web](https://example.com/x)",
+		"[broken](missing.md)",
+	}, "\n")
+	if err := os.WriteFile(filepath.Join(root, "doc.md"), []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "real.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run(root, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	if !strings.Contains(got, `doc.md:5: broken link "missing.md"`) {
+		t.Errorf("broken link not reported:\n%s", got)
+	}
+	if strings.Contains(got, "real.md#section") || strings.Contains(got, "example.com") {
+		t.Errorf("false positives:\n%s", got)
+	}
+}

@@ -5,7 +5,9 @@
 //
 //  1. Decode night-shift.json (embedded next to this file): a hand-authored
 //     session the library does not ship — bedtime reading over background
-//     radio, with a late pressure wave that squeezes the cached dictionary.
+//     radio, with taps and swipes delivered through the InputDispatcher to
+//     whichever app holds the focus (the stale ones drop and are counted),
+//     and a late pressure wave that squeezes the cached dictionary.
 //  2. Run it exactly as a bundled scenario runs, and show the per-process
 //     attribution and pressure outcome.
 //  3. Generate a session procedurally from a (seed, apps, events, pressure)
@@ -63,6 +65,21 @@ func main() {
 			fmt.Printf("memory pressure: %d trims, %d lowmemorykiller kills %v\n",
 				res.Trims, res.LMKKills, res.LMKVictims)
 		}
+		if res.InputEvents > 0 {
+			fmt.Printf("input: %d samples injected, %d dispatched, %d dropped\n",
+				res.InputEvents, res.InputDispatched, res.InputDropped)
+			for _, st := range res.InputApps {
+				if st.Dispatched == 0 {
+					fmt.Printf("  %-10s 0 dispatched, %d dropped (unfocused, paused, or dead)\n",
+						st.App, st.Dropped)
+					continue
+				}
+				fmt.Printf("  %-10s %d dispatched, %d dropped, dispatch latency mean %.1f us (max %.1f)\n",
+					st.App, st.Dispatched, st.Dropped,
+					float64(st.LatencySum)/float64(st.Dispatched)/float64(sim.Microsecond),
+					float64(st.LatencyMax)/float64(sim.Microsecond))
+			}
+		}
 		fmt.Println("per-process attribution (top of the fold):")
 		for _, row := range stats.NewBreakdown(res.Stats.ByProcess()).TopN(6) {
 			fmt.Printf("  %-22s %6.2f%%\n", row.Name, row.Share*100)
@@ -71,8 +88,9 @@ func main() {
 	run(authored)
 
 	// 3. A generated session: diversity as a sweep axis. Ten apps live at
-	// once, default density, a mild pressure knob.
-	gen := scenario.Generate(scenario.GenConfig{Seed: 7, Apps: 10, Pressure: 1})
+	// once, default density, a mild pressure knob, and a burst of generated
+	// input gestures chasing the focus around.
+	gen := scenario.Generate(scenario.GenConfig{Seed: 7, Apps: 10, Pressure: 1, Inputs: 16})
 	fmt.Printf("\ngenerated %q (%s): %d apps, %d events\n",
 		gen.Name, gen.Source, len(gen.Apps), len(gen.Timeline))
 	run(gen)

@@ -64,6 +64,12 @@ type App struct {
 	// (pause/resume) arrive here and are performed by the main thread at
 	// its next PausePoint, as through the real ActivityThread handler.
 	Looper *Looper
+	// OnInput handles a delivered input event on the main thread, after
+	// the framework's view-hierarchy dispatch. The apps package installs
+	// a workload-appropriate handler at launch; workload bodies may
+	// replace it (media players install seek handlers). Nil means the
+	// framework dispatch is the whole cost.
+	OnInput func(ex *kernel.Exec, a *App, ev *InputEvent)
 	// HelperProcs are the app_process companions forked for cfg.Helpers;
 	// KillApp terminates them with the app.
 	HelperProcs []*kernel.Process

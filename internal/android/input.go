@@ -1,0 +1,217 @@
+package android
+
+import (
+	"sort"
+
+	"agave/internal/kernel"
+	"agave/internal/sim"
+)
+
+// The input-event pipeline. Real Android delivers every touch and key through
+// one chokepoint: events enter the kernel, the InputDispatcher thread in
+// system_server resolves the focused window, and the winning app's main
+// thread drains its input channel interleaved with lifecycle messages and
+// frame production. This file models that chokepoint: a ScenarioDriver (or
+// any caller) injects synthetic events with Inject*, the InputDispatcher
+// thread routes each one to the current foreground app's looper, and the
+// app's main thread performs the handler work at its next PausePoint. Events
+// aimed at a dead, paused, or unfocused app are dropped — and counted, per
+// target, alongside end-to-end dispatch-latency statistics for the events
+// that did land.
+
+// InputKind is one synthetic input sample's type.
+type InputKind uint8
+
+// Input sample kinds. A scenario Tap expands to a down/up pair, a Swipe to a
+// down, several moves, and an up; a Key is a single press.
+const (
+	TouchDown InputKind = iota
+	TouchMove
+	TouchUp
+	KeyPress
+)
+
+// String names the sample kind for diagnostics.
+func (k InputKind) String() string {
+	switch k {
+	case TouchDown:
+		return "touch-down"
+	case TouchMove:
+		return "touch-move"
+	case TouchUp:
+		return "touch-up"
+	case KeyPress:
+		return "key-press"
+	}
+	return "input?"
+}
+
+// InputEvent is one synthetic input sample in flight through the pipeline.
+type InputEvent struct {
+	// Kind is the sample type.
+	Kind InputKind
+	// Target names the app (by label) the gesture aims at; delivery
+	// additionally requires the target to hold the focus.
+	Target string
+	// Posted is the injection time; end-to-end dispatch latency is
+	// measured from here to the app-side handler.
+	Posted sim.Ticks
+}
+
+// InputAppStats is the per-target outcome of a run's input traffic.
+type InputAppStats struct {
+	// App is the target label events were injected for.
+	App string
+	// Injected counts events aimed at the app.
+	Injected int
+	// Dispatched counts events the app's main thread actually handled.
+	Dispatched int
+	// Dropped is Injected - Dispatched: events refused at routing time
+	// (target dead, paused, or not focused), consumed unhandled by a
+	// paused activity, or still in flight when the measurement ended.
+	Dropped int
+	// LatencyMin/Max/Sum aggregate end-to-end dispatch latency
+	// (injection to handler start) over the Dispatched events, in ticks.
+	LatencyMin, LatencyMax, LatencySum sim.Ticks
+}
+
+// inputChannel accumulates one target's counters.
+type inputChannel struct {
+	injected  int
+	delivered int
+	latMin    sim.Ticks
+	latMax    sim.Ticks
+	latSum    sim.Ticks
+}
+
+// InputDispatcher is system_server's input pipeline state: the event queue
+// its dispatcher thread drains, and the per-target accounting.
+type InputDispatcher struct {
+	sys *System
+	q   *kernel.MsgQueue
+
+	chans map[string]*inputChannel
+}
+
+func newInputDispatcher(sys *System) *InputDispatcher {
+	return &InputDispatcher{
+		sys:   sys,
+		q:     sys.K.NewMsgQueue("input.dispatch"),
+		chans: make(map[string]*inputChannel),
+	}
+}
+
+// channel returns (creating on first use) the target's counter record.
+func (d *InputDispatcher) channel(target string) *inputChannel {
+	c, ok := d.chans[target]
+	if !ok {
+		c = &inputChannel{}
+		d.chans[target] = c
+	}
+	return c
+}
+
+// inject queues one gesture's samples for the dispatcher thread. The send
+// cost (the write into the input channel) charges to the calling thread, as
+// the event-hub write does on a real device.
+func (d *InputDispatcher) inject(ex *kernel.Exec, target string, kinds ...InputKind) {
+	c := d.channel(target)
+	for _, k := range kinds {
+		c.injected++
+		ex.Send(d.q, &InputEvent{Kind: k, Target: target, Posted: ex.Now()})
+	}
+}
+
+// InjectTap queues a touch tap (down/up pair) aimed at the labelled app.
+func (sys *System) InjectTap(ex *kernel.Exec, target string) {
+	sys.Input.inject(ex, target, TouchDown, TouchUp)
+}
+
+// InjectKey queues a single key press aimed at the labelled app.
+func (sys *System) InjectKey(ex *kernel.Exec, target string) {
+	sys.Input.inject(ex, target, KeyPress)
+}
+
+// InjectSwipe queues a swipe gesture — a down, three move samples, and an
+// up — aimed at the labelled app.
+func (sys *System) InjectSwipe(ex *kernel.Exec, target string) {
+	sys.Input.inject(ex, target, TouchDown, TouchMove, TouchMove, TouchMove, TouchUp)
+}
+
+// route is the dispatcher thread's focus decision for one event: deliver to
+// the target's looper only if the target is alive, unpaused, and holds the
+// foreground focus. Everything else is dropped here — posting input to a
+// backgrounded or dying process is exactly how a real dispatcher produces
+// "dropped event" logs rather than crashes.
+func (d *InputDispatcher) route(ex *kernel.Exec, ev *InputEvent) {
+	a := d.sys.appByLabel(ev.Target)
+	if a == nil || a.Dead || a.Paused() || d.sys.amForeground != a {
+		return // never delivered: counted as dropped at collection
+	}
+	a.Looper.Post(ex, Message{What: msgInput, Input: ev})
+}
+
+// noteDelivered records a handled event and its end-to-end latency. It runs
+// on the receiving app's main thread, at handler start.
+func (d *InputDispatcher) noteDelivered(ev *InputEvent, lat sim.Ticks) {
+	c := d.channel(ev.Target)
+	if c.delivered == 0 || lat < c.latMin {
+		c.latMin = lat
+	}
+	if lat > c.latMax {
+		c.latMax = lat
+	}
+	c.latSum += lat
+	c.delivered++
+}
+
+// InputStats reports the per-target input outcome, sorted by target name.
+// Dropped covers every injected event that was never handled: refused at
+// routing, consumed unhandled while the target was paused, or still queued
+// when the machine stopped.
+func (sys *System) InputStats() []InputAppStats {
+	d := sys.Input
+	names := make([]string, 0, len(d.chans))
+	for n := range d.chans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]InputAppStats, 0, len(names))
+	for _, n := range names {
+		c := d.chans[n]
+		out = append(out, InputAppStats{
+			App:        n,
+			Injected:   c.injected,
+			Dispatched: c.delivered,
+			Dropped:    c.injected - c.delivered,
+			LatencyMin: c.latMin,
+			LatencyMax: c.latMax,
+			LatencySum: c.latSum,
+		})
+	}
+	return out
+}
+
+// appByLabel resolves a target label to the most recently created live app
+// under that label (relaunches reuse names; the newest incarnation owns the
+// label, exactly as the newest process owns a package name on a device).
+func (sys *System) appByLabel(label string) *App {
+	for i := len(sys.amApps) - 1; i >= 0; i-- {
+		if a := sys.amApps[i]; a.Cfg.Label == label && !a.Dead {
+			return a
+		}
+	}
+	return nil
+}
+
+// performInput is the app half of a delivery: record the end-to-end latency,
+// charge the view-hierarchy dispatch that precedes any listener, then run
+// the workload's input handler (which does the app-specific work — dalvik
+// allocations, surface invalidations, media seeks).
+func (a *App) performInput(ex *kernel.Exec, ev *InputEvent) {
+	a.Sys.Input.noteDelivered(ev, ex.Now()-ev.Posted)
+	a.VM.InterpBulk(ex, a.frameworkDexFor(ex), 1400, false)
+	if a.OnInput != nil {
+		a.OnInput(ex, a, ev)
+	}
+}

@@ -15,6 +15,11 @@ const (
 	// Unlike pause/resume it is handled even while the activity is parked
 	// in its looper — cached apps are exactly the ones asked to shrink.
 	msgTrim = 103
+	// msgInput is an input event from the InputDispatcher; Input carries
+	// the payload. It is handled only by a resumed activity — a paused
+	// one consumes it unhandled (stale UI traffic), which the dispatcher's
+	// accounting reports as a dropped event.
+	msgInput = 104
 )
 
 // PausePoint is the main thread's lifecycle gate: workload bodies reach it
@@ -43,9 +48,10 @@ func (a *App) dispatchLifecycle(ex *kernel.Exec, m Message) {
 	case msgPause:
 		a.onPause(ex)
 		// Park in the looper until resumed. Trim requests are honoured
-		// even while parked; other non-lifecycle messages and redundant
-		// pauses are consumed and dropped, as a real paused activity
-		// ignores stale UI traffic.
+		// even while parked; other non-lifecycle messages — input events
+		// included — and redundant pauses are consumed and dropped, as a
+		// real paused activity ignores stale UI traffic (the input
+		// dispatcher's accounting reports those as dropped).
 		for {
 			next := ex.Recv(a.Looper.q).(Message)
 			switch next.What {
@@ -60,6 +66,8 @@ func (a *App) dispatchLifecycle(ex *kernel.Exec, m Message) {
 		// Resume while already resumed: stale message, drop it.
 	case msgTrim:
 		a.onTrimMemory(ex, int(m.Arg))
+	case msgInput:
+		a.performInput(ex, m.Input)
 	}
 }
 

@@ -1,8 +1,11 @@
 // Package android models the framework layer of the Gingerbread stack: the
 // Looper/Handler message loop, the AsyncTask worker pool, zygote and its
-// fork-based application spawning, the system_server and its services, the
-// launcher and systemui processes, the PackageManager install flow (with
-// id.defcontainer and dexopt), and whole-system boot orchestration.
+// fork-based application spawning, the system_server and its services —
+// including the InputDispatcher that routes injected touch/key events to
+// the focused app's looper — the launcher and systemui processes, the
+// PackageManager install flow (with id.defcontainer and dexopt), the
+// ActivityManager's oom_adj/onTrimMemory memory policy, and whole-system
+// boot orchestration.
 package android
 
 import (
@@ -16,6 +19,9 @@ import (
 type Message struct {
 	What int
 	Arg  int64
+	// Input carries the event payload of an msgInput message posted by
+	// the InputDispatcher; nil for every other message.
+	Input *InputEvent
 	// Run, when non-nil, is executed by the receiving thread (the moral
 	// equivalent of Handler.post).
 	Run func(ex *kernel.Exec)

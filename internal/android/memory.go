@@ -4,6 +4,7 @@
 // half of a lowmemorykiller process death (binder teardown, media session
 // stop, surface removal) — the pieces that make a kill under pressure an
 // emergent whole-stack event rather than a scripted one.
+
 package android
 
 import (

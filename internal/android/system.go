@@ -30,6 +30,11 @@ type System struct {
 	Compositor *gfx.Compositor
 	Media      *media.Server
 
+	// Input is the input-event pipeline: Inject* queues synthetic events,
+	// the InputDispatcher thread in system_server routes them to the
+	// focused app's looper, and InputStats reports the outcome.
+	Input *InputDispatcher
+
 	// FrameworkFile is the synthetic framework bytecode zygote preloads;
 	// its image lives in the "framework.jar@classes.dex" mapping.
 	FrameworkFile *dex.File
@@ -86,6 +91,7 @@ var nativeDaemons = []struct {
 // the core services), mediaserver, and the launcher and systemui apps.
 func Boot(k *kernel.Kernel) *System {
 	sys := &System{K: k, Binder: binder.NewDriver(k)}
+	sys.Input = newInputDispatcher(sys)
 
 	// init and the native daemon population.
 	initP := k.NewProcess("init", 96*loader.KB, 256*loader.KB)
@@ -181,10 +187,22 @@ func (sys *System) startCoreServices(ssLM *loader.LinkMap) {
 	}
 	service("ActivityManager", 120*sim.Millisecond, 2200)
 	service("WindowManager", 90*sim.Millisecond, 1800)
-	service("InputDispatcher", 25*sim.Millisecond, 700)
 	service("PackageManager", 600*sim.Millisecond, 1200)
 	service("PowerManagerSer", 450*sim.Millisecond, 500)
 	service("android.server.", 200*sim.Millisecond, 900)
+
+	// InputDispatcher: unlike the periodic bookkeeping services it is
+	// event-driven — it parks on the input channel and wakes per injected
+	// event to resolve the focused window and post into the winning app's
+	// looper, charging the dispatch as framework bytecode in system_server.
+	k.SpawnThread(ss, "InputDispatcher", "InputDispatcher", func(ex *kernel.Exec) {
+		ex.PushCode(ss.Layout.Text)
+		for {
+			ev := ex.Recv(sys.Input.q).(*InputEvent)
+			vm.InterpBulk(ex, servicesDex, 700, false)
+			sys.Input.route(ex, ev)
+		}
+	})
 }
 
 // launcherMain draws the wallpaper/icon grid once, then idles with a slow

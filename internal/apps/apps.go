@@ -93,6 +93,7 @@ func Launch(sys *android.System, w *Workload) *android.App {
 		Helpers:      w.Helpers,
 	}
 	a := sys.NewApp(cfg)
+	a.OnInput = inputHandler(w)
 	a.Start(w.Main)
 	return a
 }
@@ -116,6 +117,7 @@ func LaunchAs(sys *android.System, w *Workload, name string, noJIT bool) *androi
 		NoJIT:        noJIT,
 	}
 	a := sys.NewApp(cfg)
+	a.OnInput = inputHandler(w)
 	a.Start(w.Main)
 	return a
 }

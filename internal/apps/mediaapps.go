@@ -4,8 +4,55 @@ import (
 	"agave/internal/android"
 	"agave/internal/kernel"
 	"agave/internal/media"
+	"agave/internal/mem"
 	"agave/internal/sim"
 )
+
+// serverSeekInput builds the seekbar handler of a mediaserver-backed
+// player: a move sample only redraws the scrub overlay (overlayH tall),
+// everything else seeks the session through mediaserver (demux index walk +
+// bitstream resync server-side), charges the seek-complete callback in
+// framework bytecode, and reposts the overlay.
+func serverSeekInput(p *media.Player, callbackCost uint64, overlayH int) func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
+	return func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
+		if ev.Kind == android.TouchMove {
+			a.Canvas.FillRect(ex, 800, overlayH)
+			return
+		}
+		if err := p.Seek(ex, a.Sys.Binder); err != nil {
+			panic(err)
+		}
+		a.VM.InterpBulk(ex, a.FrameworkDex, callbackCost, false)
+		a.Canvas.FillRect(ex, 800, overlayH)
+		a.Surface.Post(ex, a.Sys.Compositor)
+	}
+}
+
+// inProcessSeekInput builds the seek handler of an in-process decoder
+// (VLC): a move sample only redraws the scrub overlay, everything else
+// walks the stream index inside the engine's own demuxer (indexWords over
+// the bitstream plus stackWork of bookkeeping, and any extra invalidation
+// the codec needs), refills the bitstream from storage at the target, and
+// reposts the overlay.
+func inProcessSeekInput(engine, stream *mem.VMA, indexWords, stackWork, refill uint64,
+	overlayH int, invalidate func(ex *kernel.Exec)) func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
+	return func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
+		if ev.Kind == android.TouchMove {
+			a.Canvas.FillRect(ex, 800, overlayH)
+			return
+		}
+		ex.InCode(engine, func() {
+			ex.Do(kernel.Work{Fetch: 8, Reads: 1, Data: stream}, indexWords)
+			if invalidate != nil {
+				invalidate(ex)
+			}
+			ex.StackWork(stackWork)
+		})
+		ex.BlockRead(stream, refill)
+		a.Canvas.FillRect(ex, 800, overlayH)
+		a.Surface.Post(ex, a.Sys.Compositor)
+	}
+}
 
 // gallery.mp4.view — Gingerbread's stock Gallery playing an MP4. All decode
 // work happens in mediaserver via Stagefright; the app itself only runs the
@@ -27,6 +74,10 @@ func galleryMP4View() *Workload {
 			if err := p.Start(ex, a.Sys.Binder); err != nil {
 				panic(err)
 			}
+			// A tap on the timeline is a scrub: the demux index walk and
+			// bitstream resync happen server-side in mediaserver, the app
+			// only redraws the progress overlay.
+			a.OnInput = serverSeekInput(p, 2000, 48)
 			// Playback controls fade out; the app wakes rarely to
 			// advance the progress bar.
 			for n := uint64(0); ; n++ {
@@ -64,6 +115,10 @@ func musicMP3View(background bool) *Workload {
 			}
 			if err := p.Start(ex, a.Sys.Binder); err != nil {
 				panic(err)
+			}
+			if !background {
+				// Seekbar input scrubs the track through mediaserver.
+				a.OnInput = serverSeekInput(p, 2500, 80)
 			}
 			for n := uint64(0); ; n++ {
 				if background {
@@ -105,6 +160,13 @@ func vlcMP3View(background bool) *Workload {
 			vlc := a.LinkMap.VMA("libvlccore.so")
 			stream := a.AnonBuffer("bitstream", 1<<20)
 			a.Sys.Media.StreamTrack(a.Proc)
+			if !background {
+				// VLC decodes in-process, so a seek is in-process too:
+				// its own demuxer walks the stream index and refills the
+				// bitstream — the contrast to the Music app's
+				// mediaserver-side scrub.
+				a.OnInput = inProcessSeekInput(vlc, stream, 4000, 6_000, 64<<10, 100, nil)
+			}
 			// Decoder worker: VLC runs its input/decode chain on its
 			// own threads.
 			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
@@ -158,6 +220,12 @@ func vlcMP4View() *Workload {
 			stream := a.AnonBuffer("bitstream", 2<<20)
 			refs := a.AnonBuffer("reframes", 4<<20)
 			a.Sys.Media.StreamTrack(a.Proc)
+			// In-process video seek: demux index walk, a sync-frame burst
+			// from storage, and the reference-frame set invalidated.
+			a.OnInput = inProcessSeekInput(vlc, stream, 6000, 8_000, 192<<10, 48,
+				func(ex *kernel.Exec) {
+					ex.Do(kernel.Work{Fetch: 2, Writes: 1, Data: refs}, 20_000)
+				})
 			a.SpawnWorker(func(ex *kernel.Exec, a *android.App) {
 				frames := 0
 				for {

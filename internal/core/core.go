@@ -283,6 +283,9 @@ func SuiteMetrics(r *Result) map[string]float64 {
 	if r.Session != nil {
 		m["lmk_kills"] = float64(r.Session.LMKKills)
 		m["trims"] = float64(r.Session.Trims)
+		m["input_events"] = float64(r.Session.InputEvents)
+		m["input_dispatched"] = float64(r.Session.InputDispatched)
+		m["input_dropped"] = float64(r.Session.InputDropped)
 	}
 	return m
 }

@@ -23,6 +23,7 @@ const (
 	opOpenMP4
 	opStart
 	opStop
+	opSeek
 )
 
 // Audio timing.
@@ -62,6 +63,8 @@ type Server struct {
 	MP3FramesDecoded uint64
 	// Mixes counts mixer passes that had at least one active track.
 	Mixes uint64
+	// Seeks counts seek transactions served (for tests).
+	Seeks uint64
 }
 
 type session struct {
@@ -122,6 +125,14 @@ func (s *Server) handle(ex *kernel.Exec, txn *binder.Transaction) {
 		} else {
 			txn.Reply.WriteInt32(-1)
 		}
+	case opSeek:
+		id, _ := txn.Data.ReadInt32()
+		if sess := s.find(id); sess != nil {
+			s.seekSession(ex, sess)
+			txn.Reply.WriteInt32(0)
+		} else {
+			txn.Reply.WriteInt32(-1)
+		}
 	default:
 		txn.Reply.WriteInt32(-22)
 	}
@@ -168,6 +179,24 @@ func (s *Server) newSession(ex *kernel.Exec, kind int32, owner *kernel.Process) 
 		})
 	}
 	return sess
+}
+
+// seekSession charges a Stagefright seek on the mediaserver binder thread:
+// walk the container's sample/index tables to the target, then resync the
+// bitstream from storage at the new offset. The decode loops keep running —
+// a seek repositions the stream, it does not pause it.
+func (s *Server) seekSession(ex *kernel.Exec, sess *session) {
+	// Index walk: sample-table binary search in the demuxer.
+	ex.Do(kernel.Work{Fetch: 8, Reads: 1, Data: sess.bitstream}, 4000)
+	ex.StackWork(6_000)
+	// Refill from the seek target (video streams pull a bigger burst to
+	// reach the next sync frame).
+	refill := uint64(64 << 10)
+	if sess.kind == opOpenMP4 {
+		refill = 192 << 10
+	}
+	ex.BlockRead(sess.bitstream, refill)
+	s.Seeks++
 }
 
 // AttachSurface binds a video session to its output surface (the client
@@ -386,6 +415,22 @@ func (p *Player) Stop(ex *kernel.Exec, d *binder.Driver) error {
 	}
 	if rc, _ := reply.ReadInt32(); rc != 0 {
 		return fmt.Errorf("media: stop failed (%d)", rc)
+	}
+	return nil
+}
+
+// Seek repositions playback (Binder call): the mediaserver side walks the
+// demux index and resyncs the bitstream from storage. This is the media
+// half of an input-driven scrub — the UI's seekbar drag lands here.
+func (p *Player) Seek(ex *kernel.Exec, d *binder.Driver) error {
+	data := binder.NewParcel()
+	data.WriteInt32(p.id)
+	reply, err := d.Call(ex, "media.player", opSeek, data)
+	if err != nil {
+		return err
+	}
+	if rc, _ := reply.ReadInt32(); rc != 0 {
+		return fmt.Errorf("media: seek failed (%d)", rc)
 	}
 	return nil
 }

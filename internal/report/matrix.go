@@ -2,6 +2,7 @@
 // (benchmark, seed, ablation) cell of a plan, mean/min/max summaries across
 // seeds, and a JSON export carrying both plus the per-run counter
 // fingerprints the determinism harness compares.
+
 package report
 
 import (

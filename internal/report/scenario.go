@@ -4,6 +4,7 @@
 // (scenario, seed, ablation), so two invocations of the same plan emit
 // byte-identical reports regardless of worker count or machine load. That
 // property is what lets the CLI's -parallel flag be a pure speed knob.
+
 package report
 
 import (
@@ -13,16 +14,27 @@ import (
 
 	"agave/internal/core"
 	"agave/internal/scenario"
+	"agave/internal/sim"
 	"agave/internal/stats"
 	"agave/internal/suite"
 )
 
-// ScenarioAppRow is one scenario app's attribution within a run.
+// ScenarioAppRow is one scenario app's attribution within a run, plus —
+// when the session injected input — the app's input-delivery outcome.
 type ScenarioAppRow struct {
 	Name     string  `json:"name"`
 	Workload string  `json:"workload"`
 	Refs     uint64  `json:"refs"`
 	Share    float64 `json:"share"`
+	// InputDispatched/InputDropped count the input samples aimed at this
+	// app that its main thread handled vs. never saw; the latency fields
+	// aggregate end-to-end dispatch latency (injection to handler start)
+	// over the dispatched samples, in microseconds of simulated time.
+	// All omitted when no input was aimed at the app.
+	InputDispatched    int     `json:"input_dispatched,omitempty"`
+	InputDropped       int     `json:"input_dropped,omitempty"`
+	InputLatencyMeanUS float64 `json:"input_latency_mean_us,omitempty"`
+	InputLatencyMaxUS  float64 `json:"input_latency_max_us,omitempty"`
 }
 
 // ScenarioRow is one completed scenario run, flattened for rendering. All
@@ -49,11 +61,20 @@ type ScenarioRow struct {
 	// session: lowmemorykiller process kills (in kill order) and
 	// onTrimMemory callbacks delivered. All deterministic per
 	// (scenario, seed, ablation).
-	LMKKills    int              `json:"lmk_kills"`
-	LMKVictims  []string         `json:"lmk_victims,omitempty"`
-	Trims       int              `json:"trims"`
-	Fingerprint uint64           `json:"fingerprint"`
-	Apps        []ScenarioAppRow `json:"apps"`
+	LMKKills   int      `json:"lmk_kills"`
+	LMKVictims []string `json:"lmk_victims,omitempty"`
+	Trims      int      `json:"trims"`
+	// InputEvents/InputDispatched/InputDropped are the session's input
+	// totals: samples injected through the InputDispatcher, samples an
+	// app's main thread handled, and samples dropped (unfocused, paused,
+	// or dead targets, plus anything still in flight at the end).
+	// InputEvents == InputDispatched + InputDropped; all deterministic
+	// per (scenario, seed, ablation).
+	InputEvents     int              `json:"input_events"`
+	InputDispatched int              `json:"input_dispatched"`
+	InputDropped    int              `json:"input_dropped"`
+	Fingerprint     uint64           `json:"fingerprint"`
+	Apps            []ScenarioAppRow `json:"apps"`
 }
 
 // ScenarioRows flattens scenario suite outputs (skipping failed runs and
@@ -87,14 +108,31 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 			row.LMKKills = s.LMKKills
 			row.LMKVictims = append([]string(nil), s.LMKVictims...)
 			row.Trims = s.Trims
+			row.InputEvents = s.InputEvents
+			row.InputDispatched = s.InputDispatched
+			row.InputDropped = s.InputDropped
+			inputs := make(map[string]scenario.InputAppStats, len(s.InputApps))
+			for _, st := range s.InputApps {
+				inputs[st.App] = st
+			}
 			byProc := stats.NewBreakdown(r.Stats.ByProcess())
 			for _, app := range s.Apps {
-				row.Apps = append(row.Apps, ScenarioAppRow{
+				appRow := ScenarioAppRow{
 					Name:     app.Name,
 					Workload: app.Workload,
 					Refs:     byProc.Count(app.Name),
 					Share:    byProc.Share(app.Name),
-				})
+				}
+				if st, ok := inputs[app.Name]; ok {
+					appRow.InputDispatched = st.Dispatched
+					appRow.InputDropped = st.Dropped
+					if st.Dispatched > 0 {
+						appRow.InputLatencyMeanUS = float64(st.LatencySum) /
+							float64(st.Dispatched) / float64(sim.Microsecond)
+						appRow.InputLatencyMaxUS = float64(st.LatencyMax) / float64(sim.Microsecond)
+					}
+				}
+				row.Apps = append(row.Apps, appRow)
 			}
 		}
 		rows = append(rows, row)
@@ -106,16 +144,23 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 // per-app attribution block — the multi-app counterpart of WriteMatrix,
 // minus every non-deterministic column.
 func WriteScenarioMatrix(w io.Writer, outputs []suite.RunOutput[*core.Result]) {
-	fmt.Fprintf(w, "%-20s %6s %-10s %7s %12s %11s %8s %8s %8s %5s %5s\n",
-		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions", "lmk", "trims")
+	fmt.Fprintf(w, "%-20s %6s %-10s %7s %12s %11s %8s %8s %8s %5s %5s %6s %6s\n",
+		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions",
+		"lmk", "trims", "indisp", "indrop")
 	for _, r := range ScenarioRows(outputs) {
-		fmt.Fprintf(w, "%-20s %6d %-10s %7d %12d %11d %8d %8d %8d %5d %5d\n",
+		fmt.Fprintf(w, "%-20s %6d %-10s %7d %12d %11d %8d %8d %8d %5d %5d %6d %6d\n",
 			r.Scenario, r.Seed, r.Ablation, r.Events, r.TotalRefs,
 			r.Processes, r.LiveProcesses, r.Threads, r.CodeRegions+r.DataRegions,
-			r.LMKKills, r.Trims)
+			r.LMKKills, r.Trims, r.InputDispatched, r.InputDropped)
 		for _, a := range r.Apps {
-			fmt.Fprintf(w, "    %-14s %-22s %12d %6.2f%%\n",
-				a.Name, a.Workload, a.Refs, a.Share*100)
+			fmt.Fprintf(w, "    %-14s %-22s %12d %6.2f%%", a.Name, a.Workload, a.Refs, a.Share*100)
+			if a.InputDispatched > 0 || a.InputDropped > 0 {
+				fmt.Fprintf(w, "  in=%d drop=%d", a.InputDispatched, a.InputDropped)
+				if a.InputDispatched > 0 {
+					fmt.Fprintf(w, " lat mean=%.1fus max=%.1fus", a.InputLatencyMeanUS, a.InputLatencyMaxUS)
+				}
+			}
+			fmt.Fprintln(w)
 		}
 		if len(r.LMKVictims) > 0 {
 			fmt.Fprintf(w, "    lmk victims: %v\n", r.LMKVictims)

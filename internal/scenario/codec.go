@@ -15,6 +15,7 @@
 // Scenario.Validate, so a *Scenario returned by Decode is always runnable.
 // Loose inputs that would silently drop a field are exactly how a benchmark
 // suite grows unreproducible results, so there is no lenient mode.
+
 package scenario
 
 import (
@@ -60,10 +61,11 @@ type eventDoc struct {
 
 // kindNames maps the wire spelling of every event kind, in declaration
 // order; it is the inverse of Kind.String.
-var kindNames = []string{"launch", "switchto", "background", "kill", "idle", "pressure"}
+var kindNames = []string{"launch", "switchto", "background", "kill", "idle", "pressure", "tap", "key", "swipe"}
 
 // ParseKind resolves the wire spelling of an event kind ("launch",
-// "switchto", "background", "kill", "idle", "pressure").
+// "switchto", "background", "kill", "idle", "pressure", "tap", "key",
+// "swipe").
 func ParseKind(s string) (Kind, error) {
 	for i, n := range kindNames {
 		if s == n {

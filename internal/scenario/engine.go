@@ -79,8 +79,29 @@ type Result struct {
 	// Trims counts onTrimMemory callbacks the ActivityManager delivered.
 	Trims int
 
+	// InputEvents counts the synthetic input samples the timeline
+	// injected (a Tap is a down/up pair, a Swipe a five-sample gesture,
+	// a Key one press); InputDispatched counts the samples an app's main
+	// thread actually handled, and InputDropped the rest — refused by
+	// the InputDispatcher (target dead, paused, or unfocused), consumed
+	// unhandled by a paused activity, or still in flight when the
+	// measurement ended. InputEvents == InputDispatched + InputDropped.
+	InputEvents     int
+	InputDispatched int
+	InputDropped    int
+	// InputApps is the per-target input outcome, sorted by app name;
+	// empty when the timeline injected no input.
+	InputApps []InputAppStats
+
 	Duration sim.Ticks
 }
+
+// InputAppStats is one scenario app's input outcome: delivery counts plus
+// end-to-end dispatch-latency aggregates (injection on the driver thread to
+// handler start on the app's main thread, in ticks) over the dispatched
+// events. It is the framework dispatcher's per-target record, carried into
+// the result verbatim.
+type InputAppStats = android.InputAppStats
 
 // driver is the running session state: the scenario's apps by name and the
 // current foreground app. It lives on the ScenarioDriver thread — the
@@ -164,7 +185,7 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 		k.Run(k.Clock.Now() + 1)
 	}
 
-	return &Result{
+	res := &Result{
 		Scenario:      s.Name,
 		Source:        s.Source,
 		Apps:          append([]App(nil), s.Apps...),
@@ -180,7 +201,14 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 		LMKVictims:    append([]string(nil), k.LMKVictims()...),
 		Trims:         sys.Trims(),
 		Duration:      cfg.Duration,
-	}, nil
+	}
+	res.InputApps = sys.InputStats()
+	for _, st := range res.InputApps {
+		res.InputEvents += st.Injected
+		res.InputDispatched += st.Dispatched
+		res.InputDropped += st.Dropped
+	}
+	return res, nil
 }
 
 // apply performs one validated timeline event on the driver thread.
@@ -216,6 +244,12 @@ func (d *driver) apply(ex *kernel.Exec, ev Event) {
 		if d.foreground == ev.App {
 			d.foreground = ""
 		}
+	case Tap:
+		sys.InjectTap(ex, ev.App)
+	case Key:
+		sys.InjectKey(ex, ev.App)
+	case Swipe:
+		sys.InjectSwipe(ex, ev.App)
 	case Idle:
 		// A deliberate gap: the system runs undisturbed.
 	case Pressure:

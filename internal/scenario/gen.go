@@ -1,11 +1,12 @@
 // Seeded procedural scenario generation: the suite's answer to "as many
-// scenarios as you can imagine". The bundled library is eight hand-written
+// scenarios as you can imagine". The bundled library is ten hand-written
 // sessions; Generate turns scenario diversity into a sweep axis instead — a
-// (seed, app count, event density, pressure) tuple deterministically expands
-// into a valid multi-app session, so a plan can cross N generated sessions
-// with seeds and ablations exactly as it crosses bundled ones, and any
-// interesting point of the space can be pinned down, exported to JSON with
-// Encode, and committed as a regression scenario.
+// (seed, app count, event density, pressure, inputs) tuple deterministically
+// expands into a valid multi-app session, so a plan can cross N generated
+// sessions with seeds and ablations exactly as it crosses bundled ones, and
+// any interesting point of the space can be pinned down, exported to JSON
+// with Encode, and committed as a regression scenario.
+
 package scenario
 
 import (
@@ -38,6 +39,13 @@ type GenConfig struct {
 	// the default machine, higher values push free pages toward the
 	// lowmemorykiller's minfree ladder. Negative values are treated as 0.
 	Pressure int
+	// Inputs is the number of input-gesture events (tap/key/swipe) woven
+	// into the timeline on top of the Events lifecycle budget, each aimed
+	// at a random roster app. Gestures aimed at whoever happens to be
+	// focused are dispatched; the rest are dropped and counted — both
+	// outcomes are part of the session's measured profile. <= 0 generates
+	// no input events.
+	Inputs int
 }
 
 // DefaultGenApps is the default generated-session scale: 10 concurrently
@@ -58,14 +66,18 @@ func (cfg GenConfig) normalize() GenConfig {
 	if cfg.Pressure < 0 {
 		cfg.Pressure = 0
 	}
+	if cfg.Inputs < 0 {
+		cfg.Inputs = 0
+	}
 	return cfg
 }
 
 // Name is the generated scenario's identifier: the full knob tuple, so a
-// name alone reproduces the session ("gen-s7-a10-e40-p2").
+// name alone reproduces the session ("gen-s7-a10-e40-p2-i12").
 func (cfg GenConfig) Name() string {
 	cfg = cfg.normalize()
-	return fmt.Sprintf("gen-s%d-a%d-e%d-p%d", cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure)
+	return fmt.Sprintf("gen-s%d-a%d-e%d-p%d-i%d",
+		cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs)
 }
 
 // Generate deterministically expands the config into a valid scenario:
@@ -82,10 +94,10 @@ func Generate(cfg GenConfig) *Scenario {
 
 	s := &Scenario{
 		Name: cfg.Name(),
-		Description: fmt.Sprintf("generated session: %d apps, %d events, pressure %d, seed %d",
-			cfg.Apps, cfg.Events, cfg.Pressure, cfg.Seed),
-		Source: fmt.Sprintf("gen(seed=%d apps=%d events=%d pressure=%d)",
-			cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure),
+		Description: fmt.Sprintf("generated session: %d apps, %d events, pressure %d, %d inputs, seed %d",
+			cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs, cfg.Seed),
+		Source: fmt.Sprintf("gen(seed=%d apps=%d events=%d pressure=%d inputs=%d)",
+			cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs),
 	}
 	for i := 0; i < cfg.Apps; i++ {
 		s.Apps = append(s.Apps, App{
@@ -157,6 +169,81 @@ func Generate(cfg GenConfig) *Scenario {
 		default:
 			s.Timeline = append(s.Timeline, Event{At: at, Kind: Idle})
 		}
+	}
+
+	// Input phase: weave cfg.Inputs gestures over the whole interval. Most
+	// aim at whoever the script has in the foreground at that moment (the
+	// user touches the screen they are looking at), the rest at a random
+	// roster app — stale taps chasing backgrounded apps are part of any
+	// real session, and the dispatcher's drop accounting is itself a
+	// measured outcome. The stable merge keeps the lifecycle script's
+	// relative order at equal times.
+	if cfg.Inputs > 0 {
+		background := make(map[string]bool, len(s.Apps))
+		for _, a := range s.Apps {
+			if w, err := apps.ByName(a.Workload); err == nil {
+				background[a.Name] = w.Background
+			}
+		}
+		// focusTrace replays the lifecycle script's foreground handoffs:
+		// launches and switches of UI workloads take the focus, killing or
+		// backgrounding the holder clears it.
+		type focusAt struct {
+			at  Fraction
+			app string
+		}
+		var focusTrace []focusAt
+		holder := ""
+		for _, ev := range s.Timeline {
+			switch ev.Kind {
+			case Launch, SwitchTo:
+				if !background[ev.App] {
+					holder = ev.App
+					focusTrace = append(focusTrace, focusAt{ev.At, holder})
+				} else if ev.Kind == SwitchTo && holder != "" {
+					// The engine pauses the current foreground app on any
+					// switch, but a background workload never takes the
+					// focus slot — nobody holds it afterwards.
+					holder = ""
+					focusTrace = append(focusTrace, focusAt{ev.At, ""})
+				}
+			case Kill, Background:
+				if ev.App == holder {
+					holder = ""
+					focusTrace = append(focusTrace, focusAt{ev.At, ""})
+				}
+			}
+		}
+		focusedAt := func(at Fraction) string {
+			f := ""
+			for _, fc := range focusTrace {
+				if fc.at > at {
+					break
+				}
+				f = fc.app
+			}
+			return f
+		}
+		for i := 0; i < cfg.Inputs; i++ {
+			at := Fraction(rng.Intn(1001))
+			target := s.Apps[rng.Intn(len(s.Apps))].Name
+			if f := focusedAt(at); f != "" && !rng.Bool(0.3) {
+				target = f
+			}
+			kind := Tap
+			switch roll := rng.Intn(100); {
+			case roll < 55:
+				kind = Tap
+			case roll < 80:
+				kind = Key
+			default:
+				kind = Swipe
+			}
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: kind, App: target})
+		}
+		sort.SliceStable(s.Timeline, func(i, j int) bool {
+			return s.Timeline[i].At < s.Timeline[j].At
+		})
 	}
 	return s
 }

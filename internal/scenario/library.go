@@ -14,6 +14,8 @@ func Library() []*Scenario {
 		appChurn(),
 		memoryStorm(),
 		cachedAppEviction(),
+		thumbScroll(),
+		arcadeRally(),
 	}
 }
 
@@ -211,6 +213,75 @@ func cachedAppEviction() *Scenario {
 			{At: 300, Kind: Pressure, Pages: 95_000},
 			{At: 550, Kind: Pressure, Pages: 30_000},
 			{At: 800, Kind: Idle},
+		},
+	}
+}
+
+// thumbScroll — gesture-driven reading: swipes and taps pour into whichever
+// app holds the focus while the user hops between a document reader and a
+// dictionary. Every delivered gesture runs real handler work (page scroll
+// bytecode with allocation churn, invalidated regions recomposed by
+// SurfaceFlinger), so both apps carry dispatch-latency statistics in the
+// golden report, and the stale taps — aimed at an app the focus already
+// left — are dropped by the InputDispatcher and counted, never delivered
+// to a paused activity.
+func thumbScroll() *Scenario {
+	return &Scenario{
+		Name:        "thumb-scroll",
+		Description: "swipe-driven reading across two apps; stale gestures at the backgrounded one drop",
+		Apps: []App{
+			{Name: "dict", Workload: "aard.main"},
+			{Name: "reader", Workload: "odr.txt.view"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "dict"},
+			{At: 80, Kind: Launch, App: "reader"},
+			{At: 130, Kind: Swipe, App: "reader"},
+			{At: 200, Kind: Swipe, App: "reader"},
+			{At: 270, Kind: Tap, App: "reader"},
+			{At: 340, Kind: Swipe, App: "reader"},
+			{At: 410, Kind: Tap, App: "dict"}, // dict is backgrounded: dropped
+			{At: 480, Kind: SwitchTo, App: "dict"},
+			{At: 540, Kind: Swipe, App: "dict"},
+			{At: 600, Kind: Key, App: "dict"},
+			{At: 660, Kind: Tap, App: "reader"}, // reader backgrounded now: dropped
+			{At: 720, Kind: SwitchTo, App: "reader"},
+			{At: 790, Kind: Swipe, App: "reader"},
+			{At: 860, Kind: Key, App: "reader"},
+			{At: 930, Kind: Swipe, App: "reader"},
+		},
+	}
+}
+
+// arcadeRally — a tap/key barrage into a Java game, with the two hostile
+// edges of input delivery scripted on purpose: a gesture racing the target's
+// kill (injected the same instant the process dies — dropped, never a
+// panic), and a gesture at the final measured tick (injected, then the
+// machine stops: counted as dropped in flight).
+func arcadeRally() *Scenario {
+	return &Scenario{
+		Name:        "arcade-rally",
+		Description: "tap/key barrage into a game; mid-kill and end-of-interval gestures drop",
+		Apps: []App{
+			{Name: "timer", Workload: "countdown.main"},
+			{Name: "game", Workload: "frozenbubble.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "timer"},
+			{At: 80, Kind: Launch, App: "game"},
+			{At: 150, Kind: Tap, App: "game"},
+			{At: 220, Kind: Tap, App: "game"},
+			{At: 290, Kind: Key, App: "game"},
+			{At: 360, Kind: Tap, App: "game"},
+			{At: 420, Kind: Tap, App: "timer"}, // backgrounded: dropped
+			{At: 500, Kind: Kill, App: "game"},
+			{At: 500, Kind: Tap, App: "game"}, // races the kill: dropped
+			{At: 560, Kind: Key, App: "game"}, // dead: dropped
+			{At: 620, Kind: Launch, App: "game"},
+			{At: 700, Kind: Tap, App: "game"},
+			{At: 780, Kind: Swipe, App: "game"},
+			{At: 880, Kind: Tap, App: "game"},
+			{At: 1000, Kind: Key, App: "game"}, // final measured tick
 		},
 	}
 }

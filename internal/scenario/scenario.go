@@ -3,10 +3,13 @@
 // emerges from interaction across the stack — yet classic benchmark runs
 // boot one app and hold it foreground for the whole measured interval. A
 // Scenario instead scripts a deterministic timeline of lifecycle events
-// (Launch, SwitchTo, Background, Kill, Idle) over several named apps drawn
+// (Launch, SwitchTo, Background, Kill, Idle), memory pressure, and input
+// gestures (Tap, Key, Swipe — delivered through system_server's
+// InputDispatcher to the focused app's looper) over several named apps drawn
 // from the existing workload suite: apps launch mid-measurement, pause and
 // resume through their main-thread loopers, die under ActivityManager
-// teardown, and run concurrently under the ordinary scheduler quantum.
+// teardown, run concurrently under the ordinary scheduler quantum, and do
+// input-driven work that moves the measured CPU and memory profile.
 // Every reference is attributed per (process, thread, region) exactly as in
 // single-app runs — each app is its own process — so stats.Fingerprint
 // remains the determinism and comparison primitive.
@@ -50,6 +53,19 @@ const (
 	// names no app: which processes die as a consequence is the
 	// lowmemorykiller's decision, not the script's.
 	Pressure
+	// Tap injects a touch tap (a down/up pair) aimed at the named app.
+	// Input events travel through system_server's InputDispatcher to the
+	// focused app's looper; a tap aimed at an app that is dead, paused,
+	// or simply not foreground is dropped and counted, never an error —
+	// so unlike the lifecycle kinds, input events may legally target an
+	// app at any point of the timeline.
+	Tap
+	// Key injects a single key press aimed at the named app, under the
+	// same focus-or-drop delivery rule as Tap.
+	Key
+	// Swipe injects a multi-sample touch gesture (down, moves, up) aimed
+	// at the named app, under the same focus-or-drop delivery rule.
+	Swipe
 )
 
 // String names the event kind as scripts spell it.
@@ -67,6 +83,12 @@ func (k Kind) String() string {
 		return "idle"
 	case Pressure:
 		return "pressure"
+	case Tap:
+		return "tap"
+	case Key:
+		return "key"
+	case Swipe:
+		return "swipe"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -216,6 +238,10 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario %s: event %q targets undeclared app", s.Name, ev)
 		}
 		switch ev.Kind {
+		case Tap, Key, Swipe:
+			// Input events are exempt from the liveness rules: a tap at
+			// a dead or backgrounded app is a legal script — the
+			// dispatcher drops it at run time and the report counts it.
 		case Launch:
 			if live[ev.App] {
 				return fmt.Errorf("scenario %s: event %q launches an app that is already running", s.Name, ev)

@@ -16,14 +16,16 @@ import (
 	"agave/internal/suite"
 )
 
-// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 4 multi-app
-// scenarios with 2 seeds and the full ablation sweep: 9 × 2 × 3 = 54 runs,
+// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 5 multi-app
+// scenarios with 2 seeds and the full ablation sweep: 10 × 2 × 3 = 60 runs,
 // above the 25-run bar the engine must hold the guarantee at. The scenario
 // axis is deliberately the hostile set: concurrent live apps (social-burst)
 // and kill/relaunch churn (app-churn) are where scheduling nondeterminism
-// would surface first, and the two pressure scenarios (memory-storm,
+// would surface first, the two pressure scenarios (memory-storm,
 // cached-app-eviction) add emergent lowmemorykiller kills and onTrimMemory
-// traffic — system-initiated events that must still replay bit-identically.
+// traffic, and arcade-rally pushes input events through the InputDispatcher
+// with gestures racing process kills — system-initiated events and
+// drop accounting that must still replay bit-identically.
 func determinismPlan() suite.Plan {
 	return suite.Plan{
 		Benchmarks: []string{
@@ -38,6 +40,7 @@ func determinismPlan() suite.Plan {
 			"app-churn",           // kill/relaunch lifecycle stress
 			"memory-storm",        // emergent lowmemorykiller kills
 			"cached-app-eviction", // trim rescue + LRU eviction
+			"arcade-rally",        // InputDispatcher traffic + mid-kill drops
 		},
 		Seeds:     []uint64{1, 7},
 		Ablations: suite.DefaultAblations,
@@ -121,6 +124,7 @@ func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
 			fromFile,
 			scenario.Generate(scenario.GenConfig{Seed: 3, Apps: 10}),
 			scenario.Generate(scenario.GenConfig{Seed: 4, Apps: 5, Events: 30, Pressure: 2}),
+			scenario.Generate(scenario.GenConfig{Seed: 5, Apps: 4, Events: 16, Inputs: 24}),
 		},
 		Seeds: []uint64{1, 7},
 	}
@@ -164,11 +168,18 @@ func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
 			t.Errorf("%s: pressure outcome diverged: %v/%d vs %v/%d", name,
 				sr.Session.LMKVictims, sr.Session.Trims, pr.Session.LMKVictims, pr.Session.Trims)
 		}
+		if sr.Session.InputDispatched != pr.Session.InputDispatched ||
+			sr.Session.InputDropped != pr.Session.InputDropped ||
+			!reflect.DeepEqual(sr.Session.InputApps, pr.Session.InputApps) {
+			t.Errorf("%s: input outcome diverged: %d/%d vs %d/%d", name,
+				sr.Session.InputDispatched, sr.Session.InputDropped,
+				pr.Session.InputDispatched, pr.Session.InputDropped)
+		}
 	}
 	// The 10-app generated session must actually hit the requested scale at
 	// runtime, not only statically: peak live census is part of the result.
 	for _, o := range serial {
-		if o.Spec.Def != nil && o.Spec.Benchmark == "gen-s3-a10-e40-p0" && o.Result.Session.MaxLive != 10 {
+		if o.Spec.Def != nil && o.Spec.Benchmark == "gen-s3-a10-e40-p0-i0" && o.Result.Session.MaxLive != 10 {
 			t.Errorf("10-app generated session peaked at %d live apps", o.Result.Session.MaxLive)
 		}
 	}
