@@ -1,7 +1,8 @@
 package agave
 
 // One benchmark per paper artifact: Figures 1-4, Table I, and the Section
-// III scalar census, plus the ablation benches called out in DESIGN.md.
+// III scalar census, plus the ablation benches called out in
+// docs/ARCHITECTURE.md.
 // Benchmarks run shortened simulations (the shapes stabilize well before one
 // simulated second) and publish the headline quantity of each figure as a
 // custom metric, so `go test -bench=.` regenerates the paper's numbers in
@@ -12,6 +13,9 @@ import (
 	"testing"
 
 	"agave/internal/core"
+	"agave/internal/dalvik"
+	"agave/internal/kernel"
+	"agave/internal/loader"
 	"agave/internal/report"
 	"agave/internal/scenario"
 	"agave/internal/sim"
@@ -245,18 +249,58 @@ func BenchmarkScenarioFromFile(b *testing.B) {
 // drift.
 func BenchmarkScenarioGenerated(b *testing.B) {
 	sc := scenario.Generate(scenario.GenConfig{Seed: 1, Apps: 10})
+	var ticks float64
 	for i := 0; i < b.N; i++ {
 		r, err := core.RunScenarioDef(sc, benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
+		ticks += float64(r.Duration)
 		b.ReportMetric(float64(r.Session.MaxLive), "max_live")
 		b.ReportMetric(float64(r.Processes), "processes")
 		b.ReportMetric(float64(r.Stats.Total()), "total_refs")
 	}
+	b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6, "Mticks/s")
 }
 
-// --- ablation benches (design choices called out in DESIGN.md §6) ---
+// BenchmarkInterpDispatch isolates the Dalvik interpreter's per-bytecode
+// dispatch loop from the rest of the stack: one thread executes sumLoop on a
+// bare kernel, in pure interpretation (JIT disabled) and in fully compiled
+// form (sumLoop force-promoted to the code cache). Mbytecodes/s is the
+// headline: it moves only when interpreter dispatch itself gets faster.
+func BenchmarkInterpDispatch(b *testing.B) {
+	for _, mode := range []string{"interp", "jit"} {
+		b.Run(mode, func(b *testing.B) {
+			const n = 20_000
+			const bytecodes = 4*n + 4 // sumLoop's dynamic instruction count
+			k := kernel.New(kernel.Config{Quantum: 50 * sim.Microsecond, Seed: 7})
+			defer k.Shutdown()
+			p := k.NewProcess("benchmark", 1<<20, 1<<20)
+			lm := loader.Load(p.AS, p.Layout, loader.BaseSet())
+			vm := dalvik.Attach(p, lm, false)
+			k.SpawnThread(p, "main", "main", func(ex *kernel.Exec) {
+				ex.PushCode(p.Layout.Text)
+				d := vm.LoadDex(ex, dalvik.StockDex("benchmark"))
+				if mode == "jit" {
+					vm.ForceCompile(d, "sumLoop")
+				} else {
+					vm.JITEnabled = false
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := vm.Exec(ex, d, "sumLoop", n); got != int64(n)*(n-1)/2 {
+						b.Fatalf("sumLoop(%d) = %d", n, got)
+					}
+				}
+				b.StopTimer()
+			})
+			k.Run(1 << 62) // deadline far beyond any b.N's simulated time
+			b.ReportMetric(float64(b.N)*bytecodes/b.Elapsed().Seconds()/1e6, "Mbytecodes/s")
+		})
+	}
+}
+
+// --- ablation benches (design choices called out in docs/ARCHITECTURE.md) ---
 
 // BenchmarkAblationJIT contrasts trace-JIT on/off: the share of instruction
 // fetches served from dalvik-jit-code-cache vs libdvm.so.

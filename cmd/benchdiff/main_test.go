@@ -223,6 +223,32 @@ func TestMainWriteThenCompareRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMainNewBenchmarkIsAdditionNotFailure: a benchmark present in the run
+// but absent from the baseline — the normal state right after a benchmark is
+// added, before the baseline is refreshed — is reported as an addition and
+// passes the gate.
+func TestMainNewBenchmarkIsAdditionNotFailure(t *testing.T) {
+	dir := t.TempDir()
+	baseFile := filepath.Join(dir, "BENCH_baseline.json")
+	if code, _, errOut := invoke(t, sampleOutput, "-write", baseFile); code != 0 {
+		t.Fatalf("write: code=%d stderr=%q", code, errOut)
+	}
+
+	withNew := strings.Replace(sampleOutput, "PASS\n",
+		"BenchmarkInterpDispatch/interp-8 	     100	   1000000 ns/op	     133.1 Mbytecodes/s\nPASS\n", 1)
+	code, out, errOut := invoke(t, withNew, "-baseline", baseFile)
+	if code != 0 {
+		t.Fatalf("new benchmark failed the gate: code=%d stderr=%q\n%s", code, errOut, out)
+	}
+	if !strings.Contains(out, "InterpDispatch/interp") ||
+		!strings.Contains(out, "(new: no baseline entry)") {
+		t.Fatalf("addition not reported:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSED") || strings.Contains(out, "INCOMPARABLE") {
+		t.Fatalf("addition misreported as failure:\n%s", out)
+	}
+}
+
 func TestMainUsageErrors(t *testing.T) {
 	if code, _, _ := invoke(t, sampleOutput); code != 2 {
 		t.Fatal("no-op invocation accepted")

@@ -1,5 +1,5 @@
 // Command docscheck is the documentation gate CI's docs job runs. It
-// enforces two invariants that rot silently otherwise:
+// enforces three invariants that rot silently otherwise:
 //
 //  1. Every package under internal/ carries exactly one package-level godoc
 //     comment, and it begins "Package <name> ", so `go doc ./internal/<pkg>`
@@ -9,6 +9,10 @@
 //  2. Every relative link in the repository's markdown files resolves to an
 //     existing file or directory, so the architecture map and README never
 //     point at paths a refactor moved.
+//  3. Every markdown file referenced from a Go comment ("see
+//     docs/ARCHITECTURE.md") exists, resolved against the repo root or the
+//     referencing file's directory — godoc prose is where renamed design
+//     documents dangle the longest.
 //
 // Usage: docscheck [repo-root] (default ".", exits non-zero on any finding).
 package main
@@ -33,7 +37,7 @@ func main() {
 	os.Exit(run(root, os.Stdout, os.Stderr))
 }
 
-// run performs both checks and reports every finding (not just the first),
+// run performs all checks and reports every finding (not just the first),
 // returning 0 only when the tree is clean.
 func run(root string, stdout, stderr io.Writer) int {
 	var findings []string
@@ -49,6 +53,12 @@ func run(root string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings = append(findings, linkFindings...)
+	refFindings, err := checkGoDocRefs(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "docscheck:", err)
+		return 2
+	}
+	findings = append(findings, refFindings...)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(stderr, f)
@@ -114,6 +124,61 @@ func checkPackageComments(root string) ([]string, error) {
 // Reference-style links are rare enough here that inline coverage is the
 // useful gate.
 var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// mdRef matches a bare markdown-file reference inside prose, e.g.
+// "docs/ARCHITECTURE.md" or "ROADMAP.md".
+var mdRef = regexp.MustCompile(`\b[A-Za-z0-9][A-Za-z0-9_./-]*\.md\b`)
+
+// checkGoDocRefs verifies that every markdown file mentioned in a Go comment
+// exists, resolved against the repo root or the referencing file's directory.
+func checkGoDocRefs(root string) ([]string, error) {
+	var findings []string
+	exists := func(path string) bool {
+		_, err := os.Stat(path)
+		return err == nil
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "://") {
+					continue // a URL's path may end in .md without being ours
+				}
+				for _, ref := range mdRef.FindAllString(c.Text, -1) {
+					if exists(filepath.Join(root, ref)) || exists(filepath.Join(filepath.Dir(path), ref)) {
+						continue
+					}
+					findings = append(findings, fmt.Sprintf(
+						"%s:%d: comment references %q, which exists neither at the repo root nor beside the file",
+						rel, fset.Position(c.Pos()).Line, ref))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
 
 // checkMarkdownLinks resolves every relative link destination in the repo's
 // markdown files against the filesystem.

@@ -7,10 +7,11 @@ import (
 	"testing"
 )
 
-// TestRepositoryIsClean runs both gates against this repository: every
-// internal package must carry its canonical package comment and every
-// relative markdown link must resolve. This is the same check CI's docs job
-// runs, enforced locally by `go test`.
+// TestRepositoryIsClean runs every gate against this repository: each
+// internal package must carry its canonical package comment, every relative
+// markdown link must resolve, and no Go comment may reference a markdown
+// file that no longer exists. This is the same check CI's docs job runs,
+// enforced locally by `go test`.
 func TestRepositoryIsClean(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(filepath.Join("..", ".."), &out, &errOut); code != 0 {
@@ -89,6 +90,49 @@ func TestDetectsBrokenMarkdownLinks(t *testing.T) {
 		t.Errorf("broken link not reported:\n%s", got)
 	}
 	if strings.Contains(got, "real.md#section") || strings.Contains(got, "example.com") {
+		t.Errorf("false positives:\n%s", got)
+	}
+}
+
+// TestDetectsDanglingGoCommentDocRefs: a Go comment naming a markdown file
+// that exists neither at the repo root nor beside the file is a finding;
+// references that resolve either way, and URLs whose path ends in .md, are
+// not.
+func TestDetectsDanglingGoCommentDocRefs(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/good/good.go", "// Package good is documented.\npackage good\n")
+	write("docs/REAL.md", "x")
+	write("pkg/NOTES.md", "x")
+	src := strings.Join([]string{
+		"// Package pkg is fine. See docs/REAL.md for the design,",
+		"// NOTES.md beside this file, and https://example.com/GONE.md online.",
+		"package pkg",
+		"",
+		"// helper follows the plan in GONE.md exactly.",
+		"func helper() {}",
+	}, "\n")
+	write("pkg/pkg.go", src)
+
+	var out, errOut strings.Builder
+	if code := run(root, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	if !strings.Contains(got, `pkg/pkg.go:5: comment references "GONE.md"`) {
+		t.Errorf("dangling reference not reported:\n%s", got)
+	}
+	if strings.Contains(got, "REAL.md") || strings.Contains(got, "NOTES.md") ||
+		strings.Contains(got, "example.com") {
 		t.Errorf("false positives:\n%s", got)
 	}
 }

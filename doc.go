@@ -10,8 +10,8 @@
 //
 // Entry points: the public API lives in internal/core (suite registry and
 // runner) and internal/report (figure/table generation); the cmd/agave CLI
-// and examples/ show typical use. See DESIGN.md for the system inventory
-// and EXPERIMENTS.md for paper-vs-measured results.
+// and examples/ show typical use. See docs/ARCHITECTURE.md for the system
+// inventory and layer map.
 //
 // Suite sweeps — the cross product of benchmarks × seeds × ablations — run
 // on the parallel execution engine in internal/suite: runs are sharded

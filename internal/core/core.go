@@ -49,8 +49,9 @@ type Config struct {
 	MinFreePages uint64
 }
 
-// DefaultConfig is the configuration used for the EXPERIMENTS.md numbers:
-// one simulated second of steady state after 300 ms of warmup.
+// DefaultConfig is the configuration the paper-artifact numbers are
+// regenerated with (see docs/ARCHITECTURE.md): one simulated second of
+// steady state after 300 ms of warmup.
 func DefaultConfig() Config {
 	return Config{
 		Seed:     1,

@@ -8,17 +8,62 @@ import (
 	"agave/internal/stats"
 )
 
+// This file is the Dalvik bytecode interpreter, organized as two dispatch
+// loops over pre-decoded code (see docs/ARCHITECTURE.md):
+//
+//   - runInterp: threaded dispatch through opTable, one handler per opcode,
+//     charging the interpreted cost model (libdvm.so fetches + a dex-image
+//     read per bytecode).
+//   - runCompiled: the "compiled" form of a method — per-method closure
+//     programs with pre-resolved register operands and fused ALU/ALU and
+//     ALU/branch superinstructions — charging the JIT cost model (code-cache
+//     fetches, no dex read).
+//
+// Both loops produce byte-identical attribution to the historical
+// switch-threaded interpreter: the per-bytecode accounting sequence (fetch
+// and stack counters, the flush boundary every interpFlush bytecodes, the
+// trace-discovery counter) is preserved exactly, so golden reports and the
+// determinism sweep do not move.
+
 // acct batches interpreter accounting so the per-bytecode hot path is plain
 // integer arithmetic; counters flush to the collector in quantum-sized
 // slices. Totals are exact; only intra-slice interleaving is coalesced.
 type acct struct {
-	dvmFetch, jitFetch       uint64
-	dexRead                  uint64
-	stackRead, stackWrite    uint64
-	flushEvery, sinceFlushed uint64
+	dvmFetch, jitFetch    uint64
+	dexRead               uint64
+	stackRead, stackWrite uint64
+	sinceFlushed          uint64
 }
 
 const interpFlush = 2048 // bytecodes between accounting flushes
+
+// frame is one method activation: the virtual register file plus the
+// execution context the opcode handlers need. Handlers communicate control
+// flow back to the dispatch loop through pc, returned, and yielded.
+type frame struct {
+	regs       [dex.NumRegs]int64
+	lastResult int64
+	pc         int
+	ret        int64
+	returned   bool
+
+	// yielded is set by any handler that may have released the simulated
+	// CPU (heap traffic, invokes, accounting flushes, compile-queue sends).
+	// The VM's compiled map can only change while another simulated thread
+	// runs, and the scheduler is strict-handoff, so the interpreter re-reads
+	// the map only after instructions that set this flag — replacing the
+	// historical per-bytecode map lookup without changing behavior.
+	yielded bool
+
+	vm    *VM
+	ex    *kernel.Exec
+	d     *LoadedDex
+	a     *acct
+	m     *dex.Method
+	mi    int
+	key   methodKey
+	depth int
+}
 
 // Exec interprets method in d until it returns, and returns its result.
 // Arguments arrive in the callee's v0..v(n-1).
@@ -64,148 +109,433 @@ func (vm *VM) execMethod(ex *kernel.Exec, d *LoadedDex, mi int, args []int64, a 
 	m := d.File.Methods[mi]
 	key := methodKey{dex: d.File.Name, method: m.Name}
 	vm.noteHot(ex, d, mi, key, 1)
-	isJit := vm.compiled[key]
 
-	var regs [dex.NumRegs]int64
-	copy(regs[:], args)
-	var lastResult int64
+	fr := &frame{vm: vm, ex: ex, d: d, a: a, m: m, mi: mi, key: key, depth: depth}
+	copy(fr.regs[:], args)
 
-	img := d.VMA.Bytes()
-	base := d.codeOff[mi]
+	if vm.compiled[key] {
+		return vm.runCompiled(fr)
+	}
+	return vm.runInterp(fr)
+}
 
-	pc := 0
+// runInterp executes fr's method from fr.pc in interpreted mode: threaded
+// dispatch over the pre-decoded code, charging interpCost libdvm.so fetches
+// and one dex-image read per bytecode.
+func (vm *VM) runInterp(fr *frame) int64 {
+	code := fr.d.pre[fr.mi]
+	a, ex, d, key := fr.a, fr.ex, fr.d, fr.key
 	for {
-		if pc < 0 || pc >= len(m.Code) {
-			panic(fmt.Sprintf("dalvik: pc %d out of range in %s", pc, m.Name))
+		pc := fr.pc
+		if pc < 0 || pc >= len(code) {
+			panic(fmt.Sprintf("dalvik: pc %d out of range in %s", pc, fr.m.Name))
 		}
-		// Genuinely decode the instruction word from the mapped image.
-		o := base + uint64(pc)*4
-		ins := dex.DecodeInstr([4]byte{img[o], img[o+1], img[o+2], img[o+3]})
+		ins := code[pc]
 
-		if isJit {
-			a.jitFetch += jitCost
-		} else {
-			a.dvmFetch += interpCost
-			a.dexRead++
-		}
+		a.dvmFetch += interpCost
+		a.dexRead++
 		a.stackRead += 2
 		a.stackWrite++
 		a.sinceFlushed++
 		if a.sinceFlushed >= interpFlush {
-			if a.dexRead > 0 {
-				ex.Read(d.VMA, a.dexRead)
-				a.dexRead = 0
-			}
+			ex.Read(d.VMA, a.dexRead)
+			a.dexRead = 0
 			vm.flush(ex, a)
+			fr.yielded = true
 		}
-		vm.countTrace(ex, d, mi, key)
-
-		pc++
-		switch ins.Op {
-		case dex.OpNop:
-		case dex.OpConst:
-			regs[ins.A] = int64(ins.Imm())
-		case dex.OpMove:
-			regs[ins.A] = regs[ins.B]
-		case dex.OpAdd:
-			regs[ins.A] = regs[ins.B] + regs[ins.C]
-		case dex.OpSub:
-			regs[ins.A] = regs[ins.B] - regs[ins.C]
-		case dex.OpMul:
-			regs[ins.A] = regs[ins.B] * regs[ins.C]
-		case dex.OpDiv:
-			if regs[ins.C] == 0 {
-				regs[ins.A] = 0
-			} else {
-				regs[ins.A] = regs[ins.B] / regs[ins.C]
+		if vm.JITEnabled {
+			vm.sinceTrace++
+			if vm.sinceTrace >= traceEvery {
+				vm.sinceTrace = 0
+				vm.sendTrace(ex, d, fr.mi, key)
+				fr.yielded = true
 			}
-		case dex.OpRem:
-			if regs[ins.C] == 0 {
-				regs[ins.A] = 0
-			} else {
-				regs[ins.A] = regs[ins.B] % regs[ins.C]
-			}
-		case dex.OpAnd:
-			regs[ins.A] = regs[ins.B] & regs[ins.C]
-		case dex.OpOr:
-			regs[ins.A] = regs[ins.B] | regs[ins.C]
-		case dex.OpXor:
-			regs[ins.A] = regs[ins.B] ^ regs[ins.C]
-		case dex.OpShl:
-			regs[ins.A] = regs[ins.B] << (uint64(regs[ins.C]) & 63)
-		case dex.OpShr:
-			regs[ins.A] = regs[ins.B] >> (uint64(regs[ins.C]) & 63)
-		case dex.OpAddI:
-			regs[ins.A] = regs[ins.B] + int64(int8(ins.C))
-		case dex.OpIfEq:
-			if regs[ins.A] == regs[ins.B] {
-				pc += int(ins.BranchOff())
-				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
-			}
-		case dex.OpIfNe:
-			if regs[ins.A] != regs[ins.B] {
-				pc += int(ins.BranchOff())
-				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
-			}
-		case dex.OpIfLt:
-			if regs[ins.A] < regs[ins.B] {
-				pc += int(ins.BranchOff())
-				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
-			}
-		case dex.OpIfGe:
-			if regs[ins.A] >= regs[ins.B] {
-				pc += int(ins.BranchOff())
-				vm.noteBackedge(ex, d, mi, key, int16(ins.BranchOff()))
-			}
-		case dex.OpGoto:
-			pc += int(ins.Imm())
-			vm.noteBackedge(ex, d, mi, key, ins.Imm())
-		case dex.OpNewArray:
-			regs[ins.A] = int64(vm.AllocArray(ex, regs[ins.B]))
-		case dex.OpArrayLen:
-			regs[ins.A] = vm.ArrayLen(ex, uint64(regs[ins.B]))
-		case dex.OpAGet:
-			regs[ins.A] = vm.ArrayGet(ex, uint64(regs[ins.B]), regs[ins.C])
-		case dex.OpAPut:
-			vm.ArrayPut(ex, uint64(regs[ins.B]), regs[ins.C], regs[ins.A])
-		case dex.OpNewObj:
-			regs[ins.A] = int64(vm.AllocObject(ex, int(ins.B)))
-		case dex.OpIGet:
-			regs[ins.A] = vm.FieldGet(ex, uint64(regs[ins.B]), int(ins.C))
-		case dex.OpIPut:
-			vm.FieldPut(ex, uint64(regs[ins.B]), int(ins.C), regs[ins.A])
-		case dex.OpInvoke:
-			var callArgs []int64
-			if ins.A > 0 {
-				callArgs = regs[ins.C : int(ins.C)+int(ins.A)]
-			}
-			a.stackWrite += uint64(ins.A) + 2 // frame push
-			lastResult = vm.execMethod(ex, d, int(ins.B), callArgs, a, depth+1)
-		case dex.OpMoveRes:
-			regs[ins.A] = lastResult
-		case dex.OpReturn:
-			if a.dexRead > 0 {
-				ex.Read(d.VMA, a.dexRead)
-				a.dexRead = 0
-			}
-			return regs[ins.A]
-		case dex.OpRetVoid:
-			if a.dexRead > 0 {
-				ex.Read(d.VMA, a.dexRead)
-				a.dexRead = 0
-			}
-			return 0
-		default:
-			panic(fmt.Sprintf("dalvik: bad opcode %v (verify the dex)", ins.Op))
 		}
 
-		// A method compiled mid-execution switches attribution at the
-		// next loop head, like a real trace JIT entering compiled code.
-		if !isJit && vm.compiled[key] {
-			isJit = true
+		fr.pc = pc + 1
+		opTable[ins.Op](fr, ins)
+		if fr.returned {
+			return fr.ret
+		}
+		if fr.yielded {
+			fr.yielded = false
+			// A method compiled mid-execution switches attribution at the
+			// next loop head, like a real trace JIT entering compiled code.
+			if vm.compiled[key] {
+				return vm.runCompiled(fr)
+			}
 		}
 	}
 }
+
+// runCompiled executes fr's method from fr.pc in compiled mode: each slot of
+// the method's closure program charges jitCost code-cache fetches per covered
+// bytecode and never reads the dex image. Entry is valid at any pc (the
+// program keeps a one-slot-per-bytecode identity mapping), so an interpreted
+// prefix can hand over mid-method.
+func (vm *VM) runCompiled(fr *frame) int64 {
+	prog := fr.d.prog(fr.mi)
+	for {
+		pc := fr.pc
+		if pc < 0 || pc >= len(prog) {
+			panic(fmt.Sprintf("dalvik: pc %d out of range in %s", pc, fr.m.Name))
+		}
+		prog[pc](fr)
+		if fr.returned {
+			return fr.ret
+		}
+	}
+}
+
+// chargeJIT is the compiled-mode per-bytecode accounting step. It mirrors
+// the interpreted step exactly, with the JIT cost model: jitCost code-cache
+// fetches, no dex read (any residue from an interpreted prefix still drains
+// at the flush boundary), and the same trace-discovery counter.
+func (fr *frame) chargeJIT() {
+	a := fr.a
+	a.jitFetch += jitCost
+	a.stackRead += 2
+	a.stackWrite++
+	a.sinceFlushed++
+	if a.sinceFlushed >= interpFlush {
+		if a.dexRead > 0 {
+			fr.ex.Read(fr.d.VMA, a.dexRead)
+			a.dexRead = 0
+		}
+		fr.vm.flush(fr.ex, a)
+	}
+	vm := fr.vm
+	if vm.JITEnabled {
+		vm.sinceTrace++
+		if vm.sinceTrace >= traceEvery {
+			vm.sinceTrace = 0
+			vm.sendTrace(fr.ex, fr.d, fr.mi, fr.key)
+		}
+	}
+}
+
+// --- interpreted dispatch table ---
+
+type opFn func(fr *frame, ins dex.Instr)
+
+// opTable is the threaded-dispatch jump table, indexed by the full uint8
+// opcode space so the dispatch load needs no bounds check; undefined opcodes
+// dispatch to opBad.
+var opTable [256]opFn
+
+func opBad(fr *frame, ins dex.Instr) {
+	panic(fmt.Sprintf("dalvik: bad opcode %v (verify the dex)", ins.Op))
+}
+
+// branch applies a taken branch: pc was already advanced past the
+// instruction, so off is relative to the successor, matching the assembler's
+// encoding. Taken backedges feed JIT hotness and may send a compile request
+// (hence yielded).
+func branch(fr *frame, off int) {
+	fr.pc += off
+	if off < 0 && fr.vm.JITEnabled {
+		fr.vm.noteBackedge(fr.ex, fr.d, fr.mi, fr.key, int16(off))
+		fr.yielded = true
+	}
+}
+
+func init() {
+	for i := range opTable {
+		opTable[i] = opBad
+	}
+	opTable[dex.OpNop] = func(fr *frame, ins dex.Instr) {}
+	opTable[dex.OpConst] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = int64(ins.Imm()) }
+	opTable[dex.OpMove] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] }
+	opTable[dex.OpAdd] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] + fr.regs[ins.C] }
+	opTable[dex.OpSub] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] - fr.regs[ins.C] }
+	opTable[dex.OpMul] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] * fr.regs[ins.C] }
+	opTable[dex.OpDiv] = func(fr *frame, ins dex.Instr) {
+		// Zero divisor yields 0 (documented divergence; see internal/dex/isa.go).
+		if fr.regs[ins.C] == 0 {
+			fr.regs[ins.A] = 0
+		} else {
+			fr.regs[ins.A] = fr.regs[ins.B] / fr.regs[ins.C]
+		}
+	}
+	opTable[dex.OpRem] = func(fr *frame, ins dex.Instr) {
+		if fr.regs[ins.C] == 0 {
+			fr.regs[ins.A] = 0
+		} else {
+			fr.regs[ins.A] = fr.regs[ins.B] % fr.regs[ins.C]
+		}
+	}
+	opTable[dex.OpAnd] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] & fr.regs[ins.C] }
+	opTable[dex.OpOr] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] | fr.regs[ins.C] }
+	opTable[dex.OpXor] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] ^ fr.regs[ins.C] }
+	opTable[dex.OpShl] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = fr.regs[ins.B] << (uint64(fr.regs[ins.C]) & 63)
+	}
+	opTable[dex.OpShr] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = fr.regs[ins.B] >> (uint64(fr.regs[ins.C]) & 63)
+	}
+	opTable[dex.OpAddI] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.regs[ins.B] + int64(int8(ins.C)) }
+	opTable[dex.OpIfEq] = func(fr *frame, ins dex.Instr) {
+		if fr.regs[ins.A] == fr.regs[ins.B] {
+			branch(fr, int(ins.BranchOff()))
+		}
+	}
+	opTable[dex.OpIfNe] = func(fr *frame, ins dex.Instr) {
+		if fr.regs[ins.A] != fr.regs[ins.B] {
+			branch(fr, int(ins.BranchOff()))
+		}
+	}
+	opTable[dex.OpIfLt] = func(fr *frame, ins dex.Instr) {
+		if fr.regs[ins.A] < fr.regs[ins.B] {
+			branch(fr, int(ins.BranchOff()))
+		}
+	}
+	opTable[dex.OpIfGe] = func(fr *frame, ins dex.Instr) {
+		if fr.regs[ins.A] >= fr.regs[ins.B] {
+			branch(fr, int(ins.BranchOff()))
+		}
+	}
+	opTable[dex.OpGoto] = func(fr *frame, ins dex.Instr) { branch(fr, int(ins.Imm())) }
+	opTable[dex.OpNewArray] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = int64(fr.vm.AllocArray(fr.ex, fr.regs[ins.B]))
+		fr.yielded = true
+	}
+	opTable[dex.OpArrayLen] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = fr.vm.ArrayLen(fr.ex, uint64(fr.regs[ins.B]))
+		fr.yielded = true
+	}
+	opTable[dex.OpAGet] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = fr.vm.ArrayGet(fr.ex, uint64(fr.regs[ins.B]), fr.regs[ins.C])
+		fr.yielded = true
+	}
+	opTable[dex.OpAPut] = func(fr *frame, ins dex.Instr) {
+		fr.vm.ArrayPut(fr.ex, uint64(fr.regs[ins.B]), fr.regs[ins.C], fr.regs[ins.A])
+		fr.yielded = true
+	}
+	opTable[dex.OpNewObj] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = int64(fr.vm.AllocObject(fr.ex, int(ins.B)))
+		fr.yielded = true
+	}
+	opTable[dex.OpIGet] = func(fr *frame, ins dex.Instr) {
+		fr.regs[ins.A] = fr.vm.FieldGet(fr.ex, uint64(fr.regs[ins.B]), int(ins.C))
+		fr.yielded = true
+	}
+	opTable[dex.OpIPut] = func(fr *frame, ins dex.Instr) {
+		fr.vm.FieldPut(fr.ex, uint64(fr.regs[ins.B]), int(ins.C), fr.regs[ins.A])
+		fr.yielded = true
+	}
+	opTable[dex.OpInvoke] = func(fr *frame, ins dex.Instr) {
+		var callArgs []int64
+		if ins.A > 0 {
+			// The callee copies this window into its own register file at
+			// entry, giving call-time snapshot semantics.
+			callArgs = fr.regs[ins.C : int(ins.C)+int(ins.A)]
+		}
+		fr.a.stackWrite += uint64(ins.A) + 2 // frame push
+		fr.lastResult = fr.vm.execMethod(fr.ex, fr.d, int(ins.B), callArgs, fr.a, fr.depth+1)
+		fr.yielded = true
+	}
+	opTable[dex.OpMoveRes] = func(fr *frame, ins dex.Instr) { fr.regs[ins.A] = fr.lastResult }
+	opTable[dex.OpReturn] = func(fr *frame, ins dex.Instr) {
+		if fr.a.dexRead > 0 {
+			fr.ex.Read(fr.d.VMA, fr.a.dexRead)
+			fr.a.dexRead = 0
+		}
+		fr.returned = true
+		fr.ret = fr.regs[ins.A]
+	}
+	opTable[dex.OpRetVoid] = func(fr *frame, ins dex.Instr) {
+		if fr.a.dexRead > 0 {
+			fr.ex.Read(fr.d.VMA, fr.a.dexRead)
+			fr.a.dexRead = 0
+		}
+		fr.returned = true
+		fr.ret = 0
+	}
+}
+
+// --- compiled-form lowering ---
+
+// cop is one slot of a method's compiled program. Slot i covers execution
+// starting at bytecode i: usually that one bytecode, or a fused pair (i, i+1)
+// when the pair is eligible. Because the mapping is identity and every slot
+// remains individually enterable, branches and mid-method handover need no
+// pc translation.
+type cop func(*frame)
+
+// prog returns d's compiled program for method mi, lowering it on first use.
+// Programs capture only operand values and branch targets — never a VM or
+// frame — so zygote children share them via ForkVM.
+func (d *LoadedDex) prog(mi int) []cop {
+	if p := d.progs[mi]; p != nil {
+		return p
+	}
+	p := buildCompiled(d.pre[mi])
+	d.progs[mi] = p
+	return p
+}
+
+func buildCompiled(code []dex.Instr) []cop {
+	prog := make([]cop, len(code))
+	for pc := range code {
+		prog[pc] = compileSlot(code, pc)
+	}
+	return prog
+}
+
+// compileSlot lowers the instruction at pc. Pure ALU ops get pre-resolved
+// operand closures and fuse greedily with a following ALU op or branch
+// (cmp+branch, const+add, ...); each fused part still charges its own
+// per-bytecode accounting, so fusion saves dispatch work only. Everything
+// with side effects outside the register file (heap ops, invokes, returns)
+// reuses the interpreter's handler under JIT accounting.
+func compileSlot(code []dex.Instr, pc int) cop {
+	ins := code[pc]
+	next := pc + 1
+	if p1 := aluExec(ins); p1 != nil {
+		if next < len(code) {
+			if p2 := aluExec(code[next]); p2 != nil {
+				after := next + 1
+				return func(fr *frame) {
+					fr.chargeJIT()
+					p1(fr)
+					fr.chargeJIT()
+					p2(fr)
+					fr.pc = after
+				}
+			}
+			if p2 := branchExec(code[next], next); p2 != nil {
+				return func(fr *frame) {
+					fr.chargeJIT()
+					p1(fr)
+					fr.chargeJIT()
+					p2(fr)
+				}
+			}
+		}
+		return func(fr *frame) {
+			fr.chargeJIT()
+			p1(fr)
+			fr.pc = next
+		}
+	}
+	if p := branchExec(ins, pc); p != nil {
+		return func(fr *frame) {
+			fr.chargeJIT()
+			p(fr)
+		}
+	}
+	h := opTable[ins.Op]
+	return func(fr *frame) {
+		fr.chargeJIT()
+		fr.pc = next
+		h(fr, ins)
+	}
+}
+
+// aluExec lowers a pure register-file op (no branches, no heap, no yields)
+// into a closure with pre-resolved operands, or nil if ins is not one.
+func aluExec(ins dex.Instr) func(*frame) {
+	a, b, c := int(ins.A), int(ins.B), int(ins.C)
+	switch ins.Op {
+	case dex.OpNop:
+		return func(fr *frame) {}
+	case dex.OpConst:
+		imm := int64(ins.Imm())
+		return func(fr *frame) { fr.regs[a] = imm }
+	case dex.OpMove:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] }
+	case dex.OpAdd:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] + fr.regs[c] }
+	case dex.OpSub:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] - fr.regs[c] }
+	case dex.OpMul:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] * fr.regs[c] }
+	case dex.OpDiv:
+		return func(fr *frame) {
+			if fr.regs[c] == 0 {
+				fr.regs[a] = 0
+			} else {
+				fr.regs[a] = fr.regs[b] / fr.regs[c]
+			}
+		}
+	case dex.OpRem:
+		return func(fr *frame) {
+			if fr.regs[c] == 0 {
+				fr.regs[a] = 0
+			} else {
+				fr.regs[a] = fr.regs[b] % fr.regs[c]
+			}
+		}
+	case dex.OpAnd:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] & fr.regs[c] }
+	case dex.OpOr:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] | fr.regs[c] }
+	case dex.OpXor:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] ^ fr.regs[c] }
+	case dex.OpShl:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] << (uint64(fr.regs[c]) & 63) }
+	case dex.OpShr:
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] >> (uint64(fr.regs[c]) & 63) }
+	case dex.OpAddI:
+		imm := int64(int8(ins.C))
+		return func(fr *frame) { fr.regs[a] = fr.regs[b] + imm }
+	case dex.OpMoveRes:
+		return func(fr *frame) { fr.regs[a] = fr.lastResult }
+	}
+	return nil
+}
+
+// branchExec lowers a branch at pc into a closure with the taken and
+// fall-through targets pre-resolved, or nil if ins is not a branch. Compiled
+// methods skip backedge hotness (noteHot is a no-op once compiled).
+func branchExec(ins dex.Instr, pc int) func(*frame) {
+	next := pc + 1
+	a, b := int(ins.A), int(ins.B)
+	switch ins.Op {
+	case dex.OpGoto:
+		target := next + int(ins.Imm())
+		return func(fr *frame) { fr.pc = target }
+	case dex.OpIfEq:
+		target := next + int(ins.BranchOff())
+		return func(fr *frame) {
+			if fr.regs[a] == fr.regs[b] {
+				fr.pc = target
+			} else {
+				fr.pc = next
+			}
+		}
+	case dex.OpIfNe:
+		target := next + int(ins.BranchOff())
+		return func(fr *frame) {
+			if fr.regs[a] != fr.regs[b] {
+				fr.pc = target
+			} else {
+				fr.pc = next
+			}
+		}
+	case dex.OpIfLt:
+		target := next + int(ins.BranchOff())
+		return func(fr *frame) {
+			if fr.regs[a] < fr.regs[b] {
+				fr.pc = target
+			} else {
+				fr.pc = next
+			}
+		}
+	case dex.OpIfGe:
+		target := next + int(ins.BranchOff())
+		return func(fr *frame) {
+			if fr.regs[a] >= fr.regs[b] {
+				fr.pc = target
+			} else {
+				fr.pc = next
+			}
+		}
+	}
+	return nil
+}
+
+// --- hotness and trace discovery ---
 
 // noteHot counts an invoke; crossing the threshold enqueues a compile.
 func (vm *VM) noteHot(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey, weight int) {
@@ -227,10 +557,21 @@ func (vm *VM) noteBackedge(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey,
 	}
 }
 
+// sendTrace enqueues the next discovered trace. It is the cold tail of the
+// per-bytecode trace counter inlined in both dispatch loops: sustained
+// interpretation keeps discovering hot traces (Gingerbread's trace JIT),
+// keeping the Compiler thread warm; the naming scheme matches InterpBulk's.
+func (vm *VM) sendTrace(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey) {
+	ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: methodKey{
+		dex: d.File.Name, method: fmt.Sprintf("%s#trace%d", key.method, vm.compilesDone),
+	}})
+}
+
 // InterpBulk models sustained interpretation of framework/library bytecode
 // at statistically calibrated per-bytecode costs, without running a real
 // program. Workload models combine real Exec calls (semantics) with
-// InterpBulk (volume): the attribution profile is identical; see DESIGN.md.
+// InterpBulk (volume): the attribution profile is identical; see
+// docs/ARCHITECTURE.md.
 //
 // Per simulated bytecode: interpCost libdvm.so fetches (or jitCost fetches
 // from the JIT cache for the warmed fraction), one dex-image read, ~3 stack
@@ -280,7 +621,10 @@ func (vm *VM) InterpBulk(ex *kernel.Exec, d *LoadedDex, bytecodes uint64, heavyA
 
 	// Sustained interpretation keeps discovering hot traces (Gingerbread's
 	// trace JIT), keeping the Compiler thread busy for the whole run.
-	if vm.JITEnabled {
+	// A method-less image (rejected by dex.Verify, but constructible by
+	// hand) has no traces to discover — and indexing its method table
+	// below would divide by zero.
+	if vm.JITEnabled && len(d.File.Methods) > 0 {
 		vm.sinceTrace += bytecodes
 		for vm.sinceTrace >= traceEvery {
 			vm.sinceTrace -= traceEvery
@@ -288,21 +632,6 @@ func (vm *VM) InterpBulk(ex *kernel.Exec, d *LoadedDex, bytecodes uint64, heavyA
 			key := methodKey{dex: d.File.Name, method: fmt.Sprintf("%s#trace%d", d.File.Methods[mi].Name, vm.compilesDone)}
 			ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: key})
 		}
-	}
-}
-
-// countTrace feeds the steady-state trace-discovery counter from real
-// interpretation, so heavy Exec use also keeps the Compiler thread warm.
-func (vm *VM) countTrace(ex *kernel.Exec, d *LoadedDex, mi int, key methodKey) {
-	if !vm.JITEnabled {
-		return
-	}
-	vm.sinceTrace++
-	if vm.sinceTrace >= traceEvery {
-		vm.sinceTrace = 0
-		ex.Send(vm.compileQueue, compileReq{d: d, mi: mi, key: methodKey{
-			dex: d.File.Name, method: fmt.Sprintf("%s#trace%d", key.method, vm.compilesDone),
-		}})
 	}
 }
 

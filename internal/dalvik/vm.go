@@ -60,6 +60,27 @@ type LoadedDex struct {
 	VMA  *mem.VMA
 
 	codeOff []uint64 // per-method byte offset of code within the image
+
+	// pre caches each method's code pre-decoded from the mapped image at
+	// load time (images are immutable once mapped), so the interpreter's
+	// dispatch loop never re-decodes instruction words. progs lazily holds
+	// the per-method compiled closure programs (see interp.go). Both are
+	// shared with zygote children by ForkVM.
+	pre   [][]dex.Instr
+	progs [][]cop
+}
+
+// decodeMethods fills d.codeOff and d.pre from the mapped image bytes.
+func (d *LoadedDex) decodeMethods(img []byte) {
+	f := d.File
+	d.codeOff = make([]uint64, len(f.Methods))
+	d.pre = make([][]dex.Instr, len(f.Methods))
+	d.progs = make([][]cop, len(f.Methods))
+	for i, m := range f.Methods {
+		off := f.CodeOffset(i)
+		d.codeOff[i] = off
+		d.pre[i] = dex.DecodeCode(img[off : off+uint64(4*len(m.Code))])
+	}
 }
 
 // VM is one process's Dalvik instance.
@@ -181,9 +202,7 @@ func (vm *VM) LoadDex(ex *kernel.Exec, file *dex.File) *LoadedDex {
 		mem.PermRead, mem.ClassData)
 	copy(v.Bytes(), img)
 	d := &LoadedDex{File: file, VMA: v}
-	for i := range file.Methods {
-		d.codeOff = append(d.codeOff, file.CodeOffset(i))
-	}
+	d.decodeMethods(v.Bytes())
 	vm.dexes[file.Name] = d
 
 	// Class loading: walk the image (reads) and populate LinearAlloc
@@ -214,9 +233,7 @@ func (vm *VM) Adopt(file *dex.File, v *mem.VMA) *LoadedDex {
 	}
 	copy(v.Slice(0, uint64(len(img))), img)
 	d := &LoadedDex{File: file, VMA: v}
-	for i := range file.Methods {
-		d.codeOff = append(d.codeOff, file.CodeOffset(i))
-	}
+	d.decodeMethods(v.Slice(0, uint64(len(img))))
 	vm.dexes[file.Name] = d
 	return d
 }
@@ -256,6 +273,8 @@ func ForkVM(parent *VM, child *kernel.Process, services bool) *VM {
 			File:    d.File,
 			VMA:     find(d.VMA.Name),
 			codeOff: d.codeOff,
+			pre:     d.pre,
+			progs:   d.progs,
 		}
 	}
 	vm.heapCommit = vm.HeapVMA.ResidentBytes()
@@ -309,6 +328,13 @@ func (vm *VM) TrimMemory(ex *kernel.Exec) uint64 {
 
 // CompilesDone reports completed JIT compilations.
 func (vm *VM) CompilesDone() uint64 { return vm.compilesDone }
+
+// ForceCompile marks method in d as JIT-compiled without charging any
+// compiler work, so tests and benchmarks can drive the compiled dispatch
+// path deterministically. Real promotion goes through the Compiler thread.
+func (vm *VM) ForceCompile(d *LoadedDex, method string) {
+	vm.compiled[methodKey{dex: d.File.Name, method: method}] = true
+}
 
 // HeapUsed reports the current bump-pointer offset.
 func (vm *VM) HeapUsed() uint64 { return vm.heapTop }

@@ -102,6 +102,37 @@ func TestVerifyCatchesFallOffEnd(t *testing.T) {
 	}
 }
 
+func TestVerifyRejectsZeroMethodFile(t *testing.T) {
+	// A method-less image used to pass Verify (the per-method loop never
+	// ran) and then divide interpreters by zero; it must be rejected.
+	if err := Verify(NewFile("empty")); err == nil || !strings.Contains(err.Error(), "no methods") {
+		t.Fatalf("want zero-method error, got %v", err)
+	}
+}
+
+func TestDecodeCodeMatchesDecodeInstr(t *testing.T) {
+	f := NewFile("t")
+	code := []Instr{
+		Instr{Op: OpConst, A: 1}.WithImm(7),
+		{Op: OpAdd, A: 2, B: 1, C: 1},
+		{Op: OpReturn, A: 2},
+	}
+	if err := f.Add(&Method{Name: "m", Code: code}); err != nil {
+		t.Fatal(err)
+	}
+	img := f.Serialize()
+	off := f.CodeOffset(0)
+	got := DecodeCode(img[off : off+uint64(4*len(code))])
+	if len(got) != len(code) {
+		t.Fatalf("decoded %d instrs, want %d", len(got), len(code))
+	}
+	for i := range code {
+		if got[i] != code[i] {
+			t.Errorf("instr %d: decoded %v, want %v", i, got[i], code[i])
+		}
+	}
+}
+
 func TestVerifyCatchesBadBranch(t *testing.T) {
 	f := NewFile("t")
 	bad := Instr{Op: OpGoto}.WithImm(100)

@@ -16,38 +16,49 @@ type Op uint8
 
 // Opcodes.
 const (
-	OpNop      Op = iota
-	OpConst       // vA := imm16 (sign-extended)
-	OpMove        // vA := vB
-	OpAdd         // vA := vB + vC
-	OpSub         // vA := vB - vC
-	OpMul         // vA := vB * vC
-	OpDiv         // vA := vB / vC (0 divisor yields 0, like a caught exception)
-	OpRem         // vA := vB % vC
-	OpAnd         // vA := vB & vC
-	OpOr          // vA := vB | vC
-	OpXor         // vA := vB ^ vC
-	OpShl         // vA := vB << (vC & 63)
-	OpShr         // vA := vB >> (vC & 63)
-	OpAddI        // vA := vB + imm8 (C as signed immediate)
-	OpIfEq        // if vA == vB branch by int8 offset in C
-	OpIfNe        // if vA != vB ...
-	OpIfLt        // if vA < vB ...
-	OpIfGe        // if vA >= vB ...
-	OpGoto        // unconditional branch by imm16 offset
-	OpNewArray    // vA := new array of length vB (elements int32)
-	OpArrayLen    // vA := len(vB)
-	OpAGet        // vA := arr(vB)[vC]
-	OpAPut        // arr(vB)[vC] := vA
-	OpNewObj      // vA := new object with B fields
-	OpIGet        // vA := obj(vB).field[C]
-	OpIPut        // obj(vB).field[C] := vA
-	OpInvoke      // call method #imm; args v0..v(A-1) of callee frame copied from vB...
-	OpMoveRes     // vA := last return value
-	OpReturn      // return vA
-	OpRetVoid     // return 0
+	OpNop   Op = iota
+	OpConst    // vA := imm16 (sign-extended)
+	OpMove     // vA := vB
+	OpAdd      // vA := vB + vC
+	OpSub      // vA := vB - vC
+	OpMul      // vA := vB * vC
+	// OpDiv and OpRem pin a deliberate divergence from real Dalvik: a zero
+	// divisor yields 0 instead of throwing ArithmeticException. The
+	// simulator has no exception machinery (a throw would abort the
+	// workload model anyway), so "caught exception, result 0" is the
+	// modelled behaviour. Both interpreter dispatch paths (switch-threaded
+	// and the pre-decoded compiled form) implement exactly this, and
+	// TestDivRemByZeroYieldsZero in internal/dalvik locks it down.
+	OpDiv      // vA := vB / vC (0 divisor yields 0; see above)
+	OpRem      // vA := vB % vC (0 divisor yields 0; see above)
+	OpAnd      // vA := vB & vC
+	OpOr       // vA := vB | vC
+	OpXor      // vA := vB ^ vC
+	OpShl      // vA := vB << (vC & 63)
+	OpShr      // vA := vB >> (vC & 63)
+	OpAddI     // vA := vB + imm8 (C as signed immediate)
+	OpIfEq     // if vA == vB branch by int8 offset in C
+	OpIfNe     // if vA != vB ...
+	OpIfLt     // if vA < vB ...
+	OpIfGe     // if vA >= vB ...
+	OpGoto     // unconditional branch by imm16 offset
+	OpNewArray // vA := new array of length vB (elements int32)
+	OpArrayLen // vA := len(vB)
+	OpAGet     // vA := arr(vB)[vC]
+	OpAPut     // arr(vB)[vC] := vA
+	OpNewObj   // vA := new object with B fields
+	OpIGet     // vA := obj(vB).field[C]
+	OpIPut     // obj(vB).field[C] := vA
+	OpInvoke   // call method #imm; args v0..v(A-1) of callee frame copied from vB...
+	OpMoveRes  // vA := last return value
+	OpReturn   // return vA
+	OpRetVoid  // return 0
 	numOps
 )
+
+// NumOps is the number of defined opcodes; interpreters size their dispatch
+// tables with it.
+const NumOps = int(numOps)
 
 var opNames = [...]string{
 	OpNop: "nop", OpConst: "const", OpMove: "move", OpAdd: "add",
@@ -104,6 +115,19 @@ func (i Instr) Encode() [4]byte { return [4]byte{byte(i.Op), i.A, i.B, i.C} }
 // DecodeInstr unpacks 4 bytes into an instruction.
 func DecodeInstr(b [4]byte) Instr {
 	return Instr{Op: Op(b[0]), A: b[1], B: b[2], C: b[3]}
+}
+
+// DecodeCode decodes a serialized code region (4 bytes per instruction, as
+// laid out by Serialize) into instructions. Interpreters call it once per
+// method at load time so the dispatch loop fetches pre-decoded instructions
+// instead of re-decoding the mapped image on every iteration; trailing bytes
+// short of a full instruction word are ignored.
+func DecodeCode(b []byte) []Instr {
+	out := make([]Instr, len(b)/4)
+	for i := range out {
+		out[i] = DecodeInstr([4]byte{b[4*i], b[4*i+1], b[4*i+2], b[4*i+3]})
+	}
+	return out
 }
 
 // String disassembles the instruction.

@@ -7,6 +7,12 @@ import "fmt"
 // indices referencing real methods. It mirrors the Dalvik verifier's role
 // (and dexopt runs it before optimizing).
 func Verify(f *File) error {
+	// A dex image with no methods has nothing to execute: real dalvik
+	// rejects it at load, and accepting it here would hand interpreters a
+	// file whose method count they cannot safely divide or index by.
+	if len(f.Methods) == 0 {
+		return fmt.Errorf("dex: %s: no methods", f.Name)
+	}
 	for mi, m := range f.Methods {
 		if m.In < 0 || m.In > NumRegs {
 			return fmt.Errorf("dex: %s.%s: bad arg count %d", f.Name, m.Name, m.In)

@@ -237,7 +237,7 @@ func (as *AddressSpace) Brk(newBrk Addr) Addr {
 	}
 	if newBrk > heap.End && heap.store != nil && heap.store.data != nil {
 		grown := make([]byte, newBrk-heap.Start)
-		copy(grown, heap.store.data)
+		copy(grown, heap.store.data[:heap.store.hi])
 		heap.store.data = grown
 	}
 	// Invalidate against the pre-mutation extent: a shrink takes addresses
@@ -288,7 +288,12 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		case v.Shared || v.Perms&PermWrite == 0:
 			nv.store = v.store
 		case v.store != nil && v.store.data != nil:
-			nv.store = &store{data: append([]byte(nil), v.store.data...)}
+			// Copy only the touched prefix: data beyond hi is all-zero, and
+			// the fresh allocation is zero pages the child never faults in
+			// unless it actually touches them.
+			data := make([]byte, len(v.store.data))
+			copy(data, v.store.data[:v.store.hi])
+			nv.store = &store{data: data, hi: v.store.hi}
 		}
 		child.vmas = append(child.vmas, nv)
 	}

@@ -184,6 +184,36 @@ func TestCloneSharingSemantics(t *testing.T) {
 	}
 }
 
+// TestClonePrefixCopyPreservesContents pins the touched-prefix fork copy:
+// Clone copies a private store only up to its high-water mark (everything
+// beyond is guaranteed zero), and the result must still behave exactly like a
+// full deep copy — contents preserved, nothing shared.
+func TestClonePrefixCopyPreservesContents(t *testing.T) {
+	as := newAS()
+	rw := mustMap(t, as, 0x100000, 1<<20, "dalvik-heap")
+	// Touch only a small prefix; the rest of the arena stays virgin zero.
+	copy(rw.Slice(16, 4), []byte{1, 2, 3, 4})
+
+	child := as.Clone()
+	crw := child.FindByName("dalvik-heap")
+	if got := crw.Slice(16, 4); got[0] != 1 || got[3] != 4 {
+		t.Fatalf("touched prefix not copied: %v", got)
+	}
+	// Bytes beyond the parent's touched mark must read as zero in the child...
+	if got := crw.Slice(1<<19, 8); got[0] != 0 || got[7] != 0 {
+		t.Fatalf("untouched tail not zero in child: %v", got)
+	}
+	// ...and stay private: writes past the old mark must not cross the fork.
+	crw.Slice(1<<19, 1)[0] = 7
+	if rw.Slice(1<<19, 1)[0] != 0 {
+		t.Fatal("child write past the touched mark leaked into the parent")
+	}
+	rw.Slice(1<<18, 1)[0] = 9
+	if crw.Slice(1<<18, 1)[0] != 0 {
+		t.Fatal("parent write after fork leaked into the child")
+	}
+}
+
 func TestMapShared(t *testing.T) {
 	c := stats.NewCollector()
 	a, b := NewAddressSpace(c), NewAddressSpace(c)

@@ -111,6 +111,9 @@ func (v *VMA) Slice(off, n uint64) []byte {
 		panic(fmt.Sprintf("mem: slice [%d,%d) outside %s of size %d", off, off+n, v.Name, v.Size()))
 	}
 	v.materialize()
+	if off+n > v.store.hi {
+		v.store.hi = off + n
+	}
 	return v.store.data[off : off+n]
 }
 
@@ -136,6 +139,13 @@ func (v *VMA) materialize() {
 
 // store is the byte backing of a VMA. Shared VMAs alias one store across
 // address spaces; private VMAs deep-copy on fork once materialized.
+//
+// hi is the touched high-water mark: every mutable view of the backing is
+// handed out by Slice, which raises hi past the view's end, so data[hi:] is
+// guaranteed all-zero. Fork (AddressSpace.Clone) and brk growth exploit this
+// by copying only the touched prefix of a mostly-empty arena — the zygote's
+// preloaded-but-unwritten heaps — instead of the whole mapping.
 type store struct {
 	data []byte
+	hi   uint64
 }
