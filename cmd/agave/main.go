@@ -36,8 +36,8 @@
 //	-scenarios a,b     add bundled scenarios to the matrix as a plan axis
 //	-scenario-dir d    add every *.json scenario document in d to the matrix
 //	-gen-scenarios N   add N generated scenarios (seeds -gen-seed..+N-1);
-//	                   -gen-apps/-gen-events/-gen-pressure/-gen-inputs set
-//	                   the knobs
+//	                   -gen-apps/-gen-events/-gen-pressure/-gen-inputs/
+//	                   -gen-faults set the knobs
 //	-json              emit plan, per-run rows, and summaries as JSON
 //
 // The scenario subcommand runs scripted multi-app sessions: apps launch,
@@ -50,7 +50,10 @@
 // inject input gestures (tap, key, swipe) that travel through
 // system_server's InputDispatcher to the focused app's looper; dispatched
 // and dropped counts plus per-app dispatch-latency statistics surface in
-// the report's input columns:
+// the report's input columns. Fault events (faultBinder, crashService,
+// killMediaserver, corruptParcel — see docs/SCENARIOS.md) drive the
+// fault-injection plane, and the report's finj/fdet/frec/anrs columns carry
+// the dependability outcome, ANRs courtesy of the AnrWatchdog:
 //
 //	-minfree N       cached-app kill waterline in pages (0 = 8192 = 32 MB)
 //	-file path       run a scenario decoded from a JSON scenario document
@@ -116,6 +119,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	genEvents := fs.Int("gen-events", 0, "timeline events per generated scenario (0 = 4 per app)")
 	genPressure := fs.Int("gen-pressure", 0, "memory-pressure knob of generated scenarios (0 = none)")
 	genInputs := fs.Int("gen-inputs", 0, "input gestures (tap/key/swipe) per generated scenario (0 = none)")
+	genFaults := fs.Int("gen-faults", 0, "fault-injection events per generated scenario (0 = none)")
 
 	switch cmd {
 	case "list":
@@ -231,7 +235,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if cmd != "suite" {
-		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs"} {
+		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs", "gen-faults"} {
 			if setFlags[f] {
 				fmt.Fprintf(stderr, "agave %s: -%s applies to the suite subcommand\n", cmd, f)
 				return 2
@@ -242,7 +246,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	// generated sessions: reject the forgotten count, don't ignore the
 	// knobs.
 	if cmd == "suite" && *genScenarios == 0 {
-		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs"} {
+		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs", "gen-faults"} {
 			if setFlags[f] {
 				fmt.Fprintf(stderr, "agave suite: -%s requires -gen-scenarios N\n", f)
 				return 2
@@ -268,7 +272,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 	if cmd == "suite" {
 		gen := genFlags{n: *genScenarios, seed: *genSeed, apps: *genApps,
-			events: *genEvents, pressure: *genPressure, inputs: *genInputs}
+			events: *genEvents, pressure: *genPressure, inputs: *genInputs, faults: *genFaults}
 		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations,
 			*scenarioList, *scenarioDir, gen, *asJSON)
 	}
@@ -393,6 +397,7 @@ type genFlags struct {
 	events   int
 	pressure int
 	inputs   int
+	faults   int
 }
 
 // suiteCmd executes the suite subcommand: build the run matrix — benchmarks,
@@ -449,9 +454,9 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 	}
 	// The sibling knobs validate the same way: zero means "use the
 	// default", but a negative value is a typo, not a request.
-	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 || gen.inputs < 0 {
-		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, -gen-pressure, and -gen-inputs must not be negative (got %d/%d/%d/%d)\n",
-			gen.apps, gen.events, gen.pressure, gen.inputs)
+	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 || gen.inputs < 0 || gen.faults < 0 {
+		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, -gen-pressure, -gen-inputs, and -gen-faults must not be negative (got %d/%d/%d/%d/%d)\n",
+			gen.apps, gen.events, gen.pressure, gen.inputs, gen.faults)
 		return 2
 	}
 	for i := 0; i < gen.n; i++ {
@@ -461,6 +466,7 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			Events:   gen.events,
 			Pressure: gen.pressure,
 			Inputs:   gen.inputs,
+			Faults:   gen.faults,
 		}))
 	}
 	if !uniqueScenarioAxis(stderr, "suite", scenarios, set) {

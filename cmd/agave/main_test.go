@@ -259,7 +259,7 @@ func TestScenarioList(t *testing.T) {
 	if len(lines) < 6 { // header + >= 5 scenarios
 		t.Fatalf("scenario -list shows %d lines, want >= 6:\n%s", len(lines), out)
 	}
-	for _, want := range []string{"commute", "social-burst", "description"} {
+	for _, want := range []string{"commute", "social-burst", "binder-storm", "mediaserver-meltdown", "description"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scenario -list missing %q:\n%s", want, out)
 		}
@@ -643,7 +643,7 @@ func TestCrossSubcommandScenarioFlagsRejected(t *testing.T) {
 // TestSuiteNegativeGenKnobsRejected: zero selects a default, but a negative
 // generator knob is a usage error, matching -gen-scenarios.
 func TestSuiteNegativeGenKnobsRejected(t *testing.T) {
-	for _, knob := range []string{"-gen-apps", "-gen-events", "-gen-pressure", "-gen-inputs"} {
+	for _, knob := range []string{"-gen-apps", "-gen-events", "-gen-pressure", "-gen-inputs", "-gen-faults"} {
 		code, _, errOut := invoke(t, "suite", "-bench", "countdown.main",
 			"-gen-scenarios", "1", knob, "-5")
 		if code != 2 || !strings.Contains(errOut, "must not be negative") {
@@ -705,7 +705,7 @@ func TestSuiteGeneratedScenarioAxis(t *testing.T) {
 	if !strings.Contains(out, "suite: 3 runs (1 benchmarks + 2 scenarios × 1 seeds × 1 ablations)") {
 		t.Fatalf("suite header missing generated axis:\n%s", out)
 	}
-	for _, want := range []string{"scenario:gen-s11-a3-e9-p0-i0", "scenario:gen-s12-a3-e9-p0-i0"} {
+	for _, want := range []string{"scenario:gen-s11-a3-e9-p0-i0-f0", "scenario:gen-s12-a3-e9-p0-i0-f0"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("suite matrix missing %s:\n%s", want, out)
 		}

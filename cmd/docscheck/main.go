@@ -1,5 +1,5 @@
 // Command docscheck is the documentation gate CI's docs job runs. It
-// enforces three invariants that rot silently otherwise:
+// enforces four invariants that rot silently otherwise:
 //
 //  1. Every package under internal/ carries exactly one package-level godoc
 //     comment, and it begins "Package <name> ", so `go doc ./internal/<pkg>`
@@ -13,6 +13,10 @@
 //     docs/ARCHITECTURE.md") exists, resolved against the repo root or the
 //     referencing file's directory — godoc prose is where renamed design
 //     documents dangle the longest.
+//  4. Every event kind the scenario codec accepts appears as a heading in
+//     docs/SCENARIOS.md, so a new timeline kind cannot ship without its
+//     schema reference — the document is held to scenario.KindNames, not
+//     the other way around.
 //
 // Usage: docscheck [repo-root] (default ".", exits non-zero on any finding).
 package main
@@ -27,6 +31,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+
+	"agave/internal/scenario"
 )
 
 func main() {
@@ -59,6 +65,7 @@ func run(root string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings = append(findings, refFindings...)
+	findings = append(findings, checkScenarioKindDocs(root)...)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(stderr, f)
@@ -178,6 +185,45 @@ func checkGoDocRefs(root string) ([]string, error) {
 		return nil, err
 	}
 	return findings, nil
+}
+
+// scenarioKindDoc is the scenario-schema reference checkScenarioKindDocs
+// holds to the codec, relative to the repo root.
+const scenarioKindDoc = "docs/SCENARIOS.md"
+
+// checkScenarioKindDocs verifies that every event kind the scenario codec
+// accepts (scenario.KindNames — the exact ParseKind spellings) appears as a
+// markdown heading in docs/SCENARIOS.md. The comparison strips heading
+// markers and backticks, so "### `faultBinder`" documents the kind
+// "faultBinder". A missing reference document is itself a finding, not an
+// infrastructure error: deleting the doc must fail the gate the same way
+// deleting one heading does.
+func checkScenarioKindDocs(root string) []string {
+	path := filepath.Join(root, scenarioKindDoc)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf(
+			"%s: missing scenario schema reference (every scenario.ParseKind kind must be documented there)",
+			scenarioKindDoc)}
+	}
+	headings := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		h := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		h = strings.Trim(h, "`")
+		headings[h] = true
+	}
+	var findings []string
+	for _, kind := range scenario.KindNames() {
+		if !headings[kind] {
+			findings = append(findings, fmt.Sprintf(
+				"%s: event kind %q has no heading (the codec accepts it; document it)",
+				scenarioKindDoc, kind))
+		}
+	}
+	return findings
 }
 
 // checkMarkdownLinks resolves every relative link destination in the repo's

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"agave/internal/scenario"
 )
 
 // TestRepositoryIsClean runs every gate against this repository: each
@@ -91,6 +93,50 @@ func TestDetectsBrokenMarkdownLinks(t *testing.T) {
 	}
 	if strings.Contains(got, "real.md#section") || strings.Contains(got, "example.com") {
 		t.Errorf("false positives:\n%s", got)
+	}
+}
+
+// TestDetectsUndocumentedScenarioKinds: docs/SCENARIOS.md must carry one
+// heading per codec-accepted event kind — a missing heading and a missing
+// document are both findings, and a fully-documented file is clean.
+func TestDetectsUndocumentedScenarioKinds(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "internal"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// No document at all: one finding naming the reference doc.
+	got := strings.Join(checkScenarioKindDocs(root), "\n")
+	if !strings.Contains(got, "docs/SCENARIOS.md: missing scenario schema reference") {
+		t.Errorf("missing document not reported:\n%s", got)
+	}
+
+	// All kinds but one documented: exactly the gap is reported.
+	kinds := scenario.KindNames()
+	var doc strings.Builder
+	doc.WriteString("# Scenario file reference\n")
+	for _, k := range kinds[1:] {
+		doc.WriteString("### `" + k + "`\n")
+	}
+	if err := os.MkdirAll(filepath.Join(root, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "docs", "SCENARIOS.md")
+	if err := os.WriteFile(path, []byte(doc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := checkScenarioKindDocs(root)
+	if len(findings) != 1 || !strings.Contains(findings[0], `event kind "`+kinds[0]+`" has no heading`) {
+		t.Errorf("want exactly the %q gap, got:\n%s", kinds[0], strings.Join(findings, "\n"))
+	}
+
+	// The gap closed (heading marker depth and backticks must not matter).
+	full := doc.String() + "## " + kinds[0] + "\n"
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if findings := checkScenarioKindDocs(root); len(findings) != 0 {
+		t.Errorf("documented kinds flagged:\n%s", strings.Join(findings, "\n"))
 	}
 }
 

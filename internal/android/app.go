@@ -91,6 +91,9 @@ type App struct {
 	// trimmed latches one onTrimMemory per pressure episode; the memory
 	// monitor re-arms it when free pages recover.
 	trimmed bool
+	// anrFlagged latches one ANR per blocked-looper episode; the watchdog
+	// re-arms it when the looper drains.
+	anrFlagged bool
 }
 
 // sharedAssets are system-wide files every app maps; the names are shared
@@ -155,11 +158,21 @@ func (sys *System) NewApp(cfg AppConfig) *App {
 	if cfg.AsyncWorkers > 0 {
 		a.Tasks = NewAsyncPool(a.Proc, cfg.AsyncWorkers)
 	}
-	// Every app hosts a Binder endpoint for framework callbacks.
+	// Every app hosts a Binder endpoint for framework callbacks. The
+	// handler parses the callback header before doing the work; a
+	// malformed parcel (the CorruptParcel injection) fails the read and
+	// takes the short error path — log-and-reject in framework bytecode,
+	// reply -EBADMSG — instead of the full callback.
 	sys.Binder.Register(a.Proc, "app."+cfg.Label, 2,
 		func(ex *kernel.Exec, txn *binder.Transaction) {
-			a.VM.InterpBulk(ex, a.frameworkDexFor(ex), 1200, false)
 			txn.Reply = binder.NewParcel()
+			if _, err := txn.Data.ReadString(); err != nil {
+				a.VM.InterpBulk(ex, a.frameworkDexFor(ex), 300, false)
+				txn.Reply.WriteInt32(-74) // -EBADMSG
+				sys.noteDetectedFault()
+				return
+			}
+			a.VM.InterpBulk(ex, a.frameworkDexFor(ex), 1200, false)
 			txn.Reply.WriteInt32(0)
 		})
 	for i := 0; i < cfg.Helpers; i++ {

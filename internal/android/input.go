@@ -73,6 +73,10 @@ type InputAppStats struct {
 	// LatencyMin/Max/Sum aggregate end-to-end dispatch latency
 	// (injection to handler start) over the Dispatched events, in ticks.
 	LatencyMin, LatencyMax, LatencySum sim.Ticks
+	// ANRs counts Application Not Responding flags the watchdog raised
+	// against the app: episodes where its main looper sat blocked past the
+	// dispatch timeout with this app's traffic (input included) pending.
+	ANRs int
 }
 
 // inputChannel accumulates one target's counters.
@@ -82,6 +86,7 @@ type inputChannel struct {
 	latMin    sim.Ticks
 	latMax    sim.Ticks
 	latSum    sim.Ticks
+	anrs      int
 }
 
 // InputDispatcher is system_server's input pipeline state: the event queue
@@ -165,6 +170,13 @@ func (d *InputDispatcher) noteDelivered(ev *InputEvent, lat sim.Ticks) {
 	c.delivered++
 }
 
+// noteANR records a watchdog Application Not Responding flag against the
+// labelled app, alongside its input-latency statistics: an ANR is the
+// pathological tail of the same dispatch pipeline.
+func (d *InputDispatcher) noteANR(target string) {
+	d.channel(target).anrs++
+}
+
 // InputStats reports the per-target input outcome, sorted by target name.
 // Dropped covers every injected event that was never handled: refused at
 // routing, consumed unhandled while the target was paused, or still queued
@@ -187,6 +199,7 @@ func (sys *System) InputStats() []InputAppStats {
 			LatencyMin: c.latMin,
 			LatencyMax: c.latMax,
 			LatencySum: c.latSum,
+			ANRs:       c.anrs,
 		})
 	}
 	return out

@@ -2,10 +2,12 @@
 // Looper/Handler message loop, the AsyncTask worker pool, zygote and its
 // fork-based application spawning, the system_server and its services —
 // including the InputDispatcher that routes injected touch/key events to
-// the focused app's looper — the launcher and systemui processes, the
-// PackageManager install flow (with id.defcontainer and dexopt), the
-// ActivityManager's oom_adj/onTrimMemory memory policy, and whole-system
-// boot orchestration.
+// the focused app's looper, the fault-injection plane (Injector) that
+// drives binder failures, service crashes, and mediaserver restarts, and
+// the AnrWatchdog that flags loopers blocked past the dispatch timeout —
+// the launcher and systemui processes, the PackageManager install flow
+// (with id.defcontainer and dexopt), the ActivityManager's
+// oom_adj/onTrimMemory memory policy, and whole-system boot orchestration.
 package android
 
 import (
@@ -25,6 +27,9 @@ type Message struct {
 	// Run, when non-nil, is executed by the receiving thread (the moral
 	// equivalent of Handler.post).
 	Run func(ex *kernel.Exec)
+	// Posted is stamped by Post with the enqueue time; the AnrWatchdog
+	// ages a looper's head message from it.
+	Posted sim.Ticks
 }
 
 // Looper is a per-thread message queue, as every Android main thread owns.
@@ -38,12 +43,27 @@ func NewLooper(k *kernel.Kernel, name string) *Looper {
 	return &Looper{q: k.NewMsgQueue("looper." + name)}
 }
 
-// Post enqueues a message from the calling thread.
-func (l *Looper) Post(ex *kernel.Exec, m Message) { ex.Send(l.q, m) }
+// Post enqueues a message from the calling thread, stamping its enqueue
+// time for the ANR watchdog.
+func (l *Looper) Post(ex *kernel.Exec, m Message) {
+	m.Posted = ex.Now()
+	ex.Send(l.q, m)
+}
+
+// Oldest returns the head message without consuming it; ok is false when
+// the queue is empty. The AnrWatchdog uses it to age pending work without
+// stealing messages from the looper's own thread.
+func (l *Looper) Oldest() (Message, bool) {
+	raw, ok := l.q.Peek()
+	if !ok {
+		return Message{}, false
+	}
+	return raw.(Message), true
+}
 
 // Quit makes Loop return after draining already-queued messages.
 func (l *Looper) Quit(ex *kernel.Exec) {
-	ex.Send(l.q, Message{What: -1})
+	l.Post(ex, Message{What: -1})
 }
 
 // Loop processes messages until Quit. The dispatch overhead per message is

@@ -35,6 +35,11 @@ type System struct {
 	// focused app's looper, and InputStats reports the outcome.
 	Input *InputDispatcher
 
+	// Inject is the fault-injection plane and dependability scoreboard:
+	// armed binder faults, crash/recovery bookkeeping, and the ANR count
+	// the AnrWatchdog accumulates.
+	Inject *Injector
+
 	// FrameworkFile is the synthetic framework bytecode zygote preloads;
 	// its image lives in the "framework.jar@classes.dex" mapping.
 	FrameworkFile *dex.File
@@ -92,6 +97,8 @@ var nativeDaemons = []struct {
 func Boot(k *kernel.Kernel) *System {
 	sys := &System{K: k, Binder: binder.NewDriver(k)}
 	sys.Input = newInputDispatcher(sys)
+	sys.Inject = newInjector(sys)
+	sys.Binder.SetFaultHook(sys.Inject.faultHook)
 
 	// init and the native daemon population.
 	initP := k.NewProcess("init", 96*loader.KB, 256*loader.KB)
@@ -131,10 +138,7 @@ func Boot(k *kernel.Kernel) *System {
 	sys.startCoreServices(ssLM)
 
 	// mediaserver: a native (non-zygote) service process.
-	msP := k.NewProcess("mediaserver", 64*loader.KB, 1<<20)
-	msLM := loader.Load(msP.AS, msP.Layout, loader.MediaServerSet())
-	sys.Media = media.NewServer(msP, msLM, sys.Binder, sys.Compositor)
-	media.RegisterLookup(sys.Binder, sys.Media)
+	sys.startMediaserver()
 
 	// Home screen and status bar.
 	sys.Launcher = sys.NewApp(AppConfig{
@@ -151,6 +155,18 @@ func Boot(k *kernel.Kernel) *System {
 		sys.startMemoryManagement()
 	}
 	return sys
+}
+
+// startMediaserver boots (or, after a CrashMediaserver, reboots) the
+// mediaserver process: a fresh kernel process, the media library set, the
+// media.Server with its "media.player" registration, and the Open lookup
+// mapping. The sequence charges no simulated work, so no other thread can
+// observe a half-started server.
+func (sys *System) startMediaserver() {
+	msP := sys.K.NewProcess("mediaserver", 64*loader.KB, 1<<20)
+	msLM := loader.Load(msP.AS, msP.Layout, loader.MediaServerSet())
+	sys.Media = media.NewServer(msP, msLM, sys.Binder, sys.Compositor)
+	media.RegisterLookup(sys.Binder, sys.Media)
 }
 
 // startCoreServices registers the Binder services system_server exposes and
@@ -201,6 +217,19 @@ func (sys *System) startCoreServices(ssLM *loader.LinkMap) {
 			ev := ex.Recv(sys.Input.q).(*InputEvent)
 			vm.InterpBulk(ex, servicesDex, 700, false)
 			sys.Input.route(ex, ev)
+		}
+	})
+
+	// AnrWatchdog: the ActivityManager's not-responding detector. Every
+	// poll period it walks the process records and ages the head message
+	// of each resumed UI app's main looper; one blocked past the dispatch
+	// timeout raises an ANR, latched per episode (see Injector.scanForANRs
+	// for the predicate and the false-positive reasoning).
+	k.SpawnThread(ss, "AnrWatchdog", "AnrWatchdog", func(ex *kernel.Exec) {
+		ex.PushCode(ss.Layout.Text)
+		for {
+			ex.SleepFor(anrPollPeriod)
+			sys.Inject.scanForANRs(ex)
 		}
 	})
 }

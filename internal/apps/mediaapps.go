@@ -12,7 +12,10 @@ import (
 // player: a move sample only redraws the scrub overlay (overlayH tall),
 // everything else seeks the session through mediaserver (demux index walk +
 // bitstream resync server-side), charges the seek-complete callback in
-// framework bytecode, and reposts the overlay.
+// framework bytecode, and reposts the overlay. A failed seek — an injected
+// binder fault, or mediaserver mid-restart — is tolerated: the scrub is
+// lost, the player keeps its handle, and the next gesture lands on the
+// recovered server.
 func serverSeekInput(p *media.Player, callbackCost uint64, overlayH int) func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
 	return func(ex *kernel.Exec, a *android.App, ev *android.InputEvent) {
 		if ev.Kind == android.TouchMove {
@@ -20,11 +23,39 @@ func serverSeekInput(p *media.Player, callbackCost uint64, overlayH int) func(ex
 			return
 		}
 		if err := p.Seek(ex, a.Sys.Binder); err != nil {
-			panic(err)
+			a.Sys.NoteDetectedFault()
+			a.Canvas.FillRect(ex, 800, overlayH)
+			return
 		}
 		a.VM.InterpBulk(ex, a.FrameworkDex, callbackCost, false)
 		a.Canvas.FillRect(ex, 800, overlayH)
 		a.Surface.Post(ex, a.Sys.Compositor)
+	}
+}
+
+// openPlayer opens a media session, retrying while mediaserver is absent
+// (an app launch can land inside a KillMediaserver restart window); a
+// failure other than the restart gap still panics — a missing media stack
+// outside chaos runs is a harness bug, not a scenario outcome.
+func openPlayer(ex *kernel.Exec, a *android.App, kind string) *media.Player {
+	for attempt := 0; ; attempt++ {
+		p, err := media.Open(ex, a.Sys.Binder, kind)
+		if err == nil {
+			return p
+		}
+		if attempt >= 50 {
+			panic(err)
+		}
+		a.Sys.NoteDetectedFault()
+		ex.SleepFor(50 * sim.Millisecond)
+	}
+}
+
+// startPlayer begins playback, tolerating an injected failure: the session
+// simply does not start, which the run's decode counters expose.
+func startPlayer(ex *kernel.Exec, a *android.App, p *media.Player) {
+	if err := p.Start(ex, a.Sys.Binder); err != nil {
+		a.Sys.NoteDetectedFault()
 	}
 }
 
@@ -66,14 +97,9 @@ func galleryMP4View() *Workload {
 		Main: func(ex *kernel.Exec, a *android.App) {
 			a.EnsureSurface(ex)
 			a.Surface.Overlay = true // video plane composes via overlay
-			p, err := media.Open(ex, a.Sys.Binder, "mp4")
-			if err != nil {
-				panic(err)
-			}
+			p := openPlayer(ex, a, "mp4")
 			p.AttachSurface(a.Surface)
-			if err := p.Start(ex, a.Sys.Binder); err != nil {
-				panic(err)
-			}
+			startPlayer(ex, a, p)
 			// A tap on the timeline is a scrub: the demux index walk and
 			// bitstream resync happen server-side in mediaserver, the app
 			// only redraws the progress overlay.
@@ -109,13 +135,8 @@ func musicMP3View(background bool) *Workload {
 		AsyncWorkers: 1,
 		Main: func(ex *kernel.Exec, a *android.App) {
 			a.EnsureSurface(ex)
-			p, err := media.Open(ex, a.Sys.Binder, "mp3")
-			if err != nil {
-				panic(err)
-			}
-			if err := p.Start(ex, a.Sys.Binder); err != nil {
-				panic(err)
-			}
+			p := openPlayer(ex, a, "mp3")
+			startPlayer(ex, a, p)
 			if !background {
 				// Seekbar input scrubs the track through mediaserver.
 				a.OnInput = serverSeekInput(p, 2500, 80)

@@ -23,9 +23,10 @@ type Transaction struct {
 	Data  *Parcel
 	Reply *Parcel
 
-	sender *kernel.Thread
-	done   bool
-	wq     *kernel.WaitQueue
+	sender  *kernel.Thread
+	done    bool
+	aborted bool
+	wq      *kernel.WaitQueue
 }
 
 // Handler runs on a service's binder thread to serve a transaction. It
@@ -51,13 +52,25 @@ type Service struct {
 	Calls uint64
 }
 
+// FaultHook is consulted by Call and CallOneway after the service lookup
+// but before the transaction is queued; a non-nil error aborts the
+// transaction with that error, after the client-side ioctl cost has been
+// charged (the attempt enters the kernel before the driver rejects it).
+// It is the attachment point of the scenario fault-injection plane — nil,
+// the default, means transactions never fail by injection.
+type FaultHook func(service string) error
+
 // Driver is the /dev/binder device: the context manager's service registry
 // plus per-process transaction buffer mappings.
 type Driver struct {
-	k        *kernel.Kernel
-	services map[string]*Service
-	maps     map[*kernel.Process]*mem.VMA
+	k         *kernel.Kernel
+	services  map[string]*Service
+	maps      map[*kernel.Process]*mem.VMA
+	faultHook FaultHook
 }
+
+// SetFaultHook installs (or, with nil, removes) the driver's fault hook.
+func (d *Driver) SetFaultHook(h FaultHook) { d.faultHook = h }
 
 // NewDriver creates the device. A real system has exactly one; tests may
 // make more.
@@ -166,6 +179,11 @@ func (d *Driver) Call(ex *kernel.Exec, service string, code int32, data *Parcel)
 	// Client-side ioctl: marshal the parcel out of this process.
 	ex.Syscall(ioctlFetch, ioctlData)
 	ex.Read(buf, data.Words())
+	if d.faultHook != nil {
+		if ferr := d.faultHook(service); ferr != nil {
+			return nil, ferr
+		}
+	}
 	txn := &Transaction{
 		Code:   code,
 		Data:   data,
@@ -176,12 +194,70 @@ func (d *Driver) Call(ex *kernel.Exec, service string, code int32, data *Parcel)
 	for !txn.done {
 		ex.WaitFree(txn.wq)
 	}
+	if txn.aborted {
+		// DEAD_REPLY: the service died with this transaction still queued.
+		ex.Syscall(ioctlFetch/3, ioctlData/3)
+		return nil, fmt.Errorf("binder: transaction to %q aborted: service died", service)
+	}
 	// Reply lands in the client's binder buffer and is read out.
 	ex.Syscall(ioctlFetch/3, ioctlData/3)
 	ex.Write(buf, txn.Reply.Words())
 	ex.Read(buf, txn.Reply.Words())
 	txn.Reply.Rewind()
 	return txn.Reply, nil
+}
+
+// CallOneway performs an asynchronous (TF_ONE_WAY) transaction: the parcel
+// is marshaled and queued to the service, and the caller continues without
+// waiting for a reply. The framework's fault-injection pings use it so a
+// transaction aimed at a crashing service can never wedge the sender; the
+// fault hook applies exactly as in Call.
+func (d *Driver) CallOneway(ex *kernel.Exec, service string, code int32, data *Parcel) error {
+	s, ok := d.services[service]
+	if !ok {
+		return fmt.Errorf("binder: no service %q", service)
+	}
+	if data == nil {
+		data = NewParcel()
+	}
+	buf := d.bufferFor(ex.P)
+	ex.Syscall(ioctlFetch, ioctlData)
+	ex.Read(buf, data.Words())
+	if d.faultHook != nil {
+		if ferr := d.faultHook(service); ferr != nil {
+			return ferr
+		}
+	}
+	txn := &Transaction{
+		Code:   code,
+		Data:   data,
+		sender: ex.T,
+		wq:     d.k.NewWaitQueue("binder.reply"),
+	}
+	ex.Send(s.queue, txn)
+	return nil
+}
+
+// AbortPending completes every queued-but-unserved transaction of a dead
+// service with an error, waking the senders — binder's DEAD_REPLY path.
+// Callers kill the service's process (and its binder pool) first;
+// AbortPending then releases any client that had already queued a
+// transaction, while later calls fail at lookup once the name is
+// unregistered. It reports how many transactions were aborted.
+func (d *Driver) AbortPending(s *Service) int {
+	n := 0
+	for {
+		raw, ok := s.queue.TryRecv()
+		if !ok {
+			break
+		}
+		txn := raw.(*Transaction)
+		txn.aborted = true
+		txn.done = true
+		txn.wq.WakeAll()
+		n++
+	}
+	return n
 }
 
 // kernelText resolves the kernel region of p (every process maps one).

@@ -287,6 +287,10 @@ func SuiteMetrics(r *Result) map[string]float64 {
 		m["input_events"] = float64(r.Session.InputEvents)
 		m["input_dispatched"] = float64(r.Session.InputDispatched)
 		m["input_dropped"] = float64(r.Session.InputDropped)
+		m["faults_injected"] = float64(r.Session.FaultsInjected)
+		m["faults_detected"] = float64(r.Session.FaultsDetected)
+		m["faults_recovered"] = float64(r.Session.FaultsRecovered)
+		m["anrs"] = float64(r.Session.ANRs)
 	}
 	return m
 }

@@ -107,5 +107,15 @@ func (q *MsgQueue) TryRecv() (m any, ok bool) {
 	return m, true
 }
 
+// Peek returns the oldest queued message without dequeuing it; ok is false
+// when the queue is empty. The ANR watchdog uses it to age a looper's head
+// message without stealing work from the looper's own thread.
+func (q *MsgQueue) Peek() (m any, ok bool) {
+	if len(q.msgs) == 0 {
+		return nil, false
+	}
+	return q.msgs[0], true
+}
+
 // Len reports queued message count.
 func (q *MsgQueue) Len() int { return len(q.msgs) }

@@ -43,6 +43,11 @@ const (
 	videoFramePeriod = sim.Second / videoFPS
 )
 
+// streamIDBase offsets StreamTrack session ids so they never collide with
+// player session ids; sessions at or above it die with the server process
+// rather than being adopted across a restart.
+const streamIDBase = 1000
+
 // Server is the mediaserver process model.
 type Server struct {
 	Proc *kernel.Process
@@ -56,6 +61,12 @@ type Server struct {
 	comp     *gfx.Compositor
 	sessions []*session
 	mixKick  *kernel.WaitQueue
+
+	// nextID and nextStreamID allocate session ids monotonically, so ids
+	// stay unique even after AdoptSessions rebuilds a sparse table (a
+	// length-based id would collide with an adopted session).
+	nextID       int32
+	nextStreamID int32
 
 	// FramesDecoded counts video frames decoded (for tests).
 	FramesDecoded uint64
@@ -148,9 +159,18 @@ func (s *Server) find(id int32) *session {
 }
 
 func (s *Server) newSession(ex *kernel.Exec, kind int32, owner *kernel.Process) *session {
+	s.nextID++
+	return s.addSession(s.nextID, kind, owner)
+}
+
+// addSession builds a session under an explicit id: buffers mapped in the
+// mediaserver process, decode and delivery threads spawned parked on the
+// start queue. newSession allocates fresh ids; AdoptSessions re-creates
+// sessions under their old ids after a mediaserver restart.
+func (s *Server) addSession(id int32, kind int32, owner *kernel.Process) *session {
 	k := s.Proc.Kernel()
 	sess := &session{
-		id:    int32(len(s.sessions) + 1),
+		id:    id,
 		kind:  kind,
 		owner: owner,
 		start: k.NewWaitQueue("media.start"),
@@ -452,13 +472,48 @@ func (s *Server) StopOwned(owner *kernel.Process) int {
 	return n
 }
 
+// AdoptSessions rebuilds the replacement server's session table after a
+// mediaserver crash: every player session of the dead server is re-created
+// under its old id — same kind, owner, surface, and play state, with fresh
+// decoder threads and buffers in the new process — so client-held session
+// handles keep working across the restart. Client-side stream tracks are
+// not adopted: their mixer feed died with the old process, the way
+// SoundPool effects cut out on a real device. Cumulative decode counters
+// carry over so a run's totals span the crash. It reports how many
+// in-flight (active) sessions were relaunched.
+func (s *Server) AdoptSessions(old *Server) int {
+	s.FramesDecoded = old.FramesDecoded
+	s.MP3FramesDecoded = old.MP3FramesDecoded
+	s.Mixes = old.Mixes
+	s.Seeks = old.Seeks
+	s.nextID = old.nextID
+	s.nextStreamID = old.nextStreamID
+	n := 0
+	for _, sess := range old.sessions {
+		if sess.id > streamIDBase {
+			continue
+		}
+		ns := s.addSession(sess.id, sess.kind, sess.owner)
+		ns.surface = sess.surface
+		if sess.active {
+			// The freshly spawned decode threads have not checked the
+			// start gate yet; setting active before they first run is
+			// enough for them to proceed.
+			ns.active = true
+			n++
+		}
+	}
+	return n
+}
+
 // StreamTrack spawns a client-side "AudioTrackThread" in owner that
 // continuously writes generated PCM into a private track shared with
 // AudioFlinger — the SoundPool/AudioTrack path games use for sound effects.
 func (s *Server) StreamTrack(owner *kernel.Process) {
 	k := owner.Kernel()
+	s.nextStreamID++
 	sess := &session{
-		id:     int32(len(s.sessions) + 1000),
+		id:     streamIDBase + s.nextStreamID,
 		kind:   opOpenMP3,
 		owner:  owner,
 		active: true,

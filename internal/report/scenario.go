@@ -35,6 +35,9 @@ type ScenarioAppRow struct {
 	InputDropped       int     `json:"input_dropped,omitempty"`
 	InputLatencyMeanUS float64 `json:"input_latency_mean_us,omitempty"`
 	InputLatencyMaxUS  float64 `json:"input_latency_max_us,omitempty"`
+	// ANRs counts Application Not Responding episodes the watchdog raised
+	// against this app; omitted when the app never blocked.
+	ANRs int `json:"anrs,omitempty"`
 }
 
 // ScenarioRow is one completed scenario run, flattened for rendering. All
@@ -70,9 +73,17 @@ type ScenarioRow struct {
 	// or dead targets, plus anything still in flight at the end).
 	// InputEvents == InputDispatched + InputDropped; all deterministic
 	// per (scenario, seed, ablation).
-	InputEvents     int              `json:"input_events"`
-	InputDispatched int              `json:"input_dispatched"`
-	InputDropped    int              `json:"input_dropped"`
+	InputEvents     int `json:"input_events"`
+	InputDispatched int `json:"input_dispatched"`
+	InputDropped    int `json:"input_dropped"`
+	// The dependability section: fault events that fired, injected
+	// failures some code observed and survived, completed recovery
+	// actions, and watchdog-raised ANRs. All deterministic per
+	// (scenario, seed, ablation).
+	FaultsInjected  int              `json:"faults_injected"`
+	FaultsDetected  int              `json:"faults_detected"`
+	FaultsRecovered int              `json:"faults_recovered"`
+	ANRs            int              `json:"anrs"`
 	Fingerprint     uint64           `json:"fingerprint"`
 	Apps            []ScenarioAppRow `json:"apps"`
 }
@@ -111,6 +122,10 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 			row.InputEvents = s.InputEvents
 			row.InputDispatched = s.InputDispatched
 			row.InputDropped = s.InputDropped
+			row.FaultsInjected = s.FaultsInjected
+			row.FaultsDetected = s.FaultsDetected
+			row.FaultsRecovered = s.FaultsRecovered
+			row.ANRs = s.ANRs
 			inputs := make(map[string]scenario.InputAppStats, len(s.InputApps))
 			for _, st := range s.InputApps {
 				inputs[st.App] = st
@@ -131,6 +146,7 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 							float64(st.Dispatched) / float64(sim.Microsecond)
 						appRow.InputLatencyMaxUS = float64(st.LatencyMax) / float64(sim.Microsecond)
 					}
+					appRow.ANRs = st.ANRs
 				}
 				row.Apps = append(row.Apps, appRow)
 			}
@@ -144,14 +160,15 @@ func ScenarioRows(outputs []suite.RunOutput[*core.Result]) []ScenarioRow {
 // per-app attribution block — the multi-app counterpart of WriteMatrix,
 // minus every non-deterministic column.
 func WriteScenarioMatrix(w io.Writer, outputs []suite.RunOutput[*core.Result]) {
-	fmt.Fprintf(w, "%-20s %6s %-10s %7s %12s %11s %8s %8s %8s %5s %5s %6s %6s\n",
+	fmt.Fprintf(w, "%-20s %6s %-10s %7s %12s %11s %8s %8s %8s %5s %5s %6s %6s %5s %5s %5s %5s\n",
 		"scenario", "seed", "ablation", "events", "total refs", "procs", "live", "threads", "regions",
-		"lmk", "trims", "indisp", "indrop")
+		"lmk", "trims", "indisp", "indrop", "finj", "fdet", "frec", "anrs")
 	for _, r := range ScenarioRows(outputs) {
-		fmt.Fprintf(w, "%-20s %6d %-10s %7d %12d %11d %8d %8d %8d %5d %5d %6d %6d\n",
+		fmt.Fprintf(w, "%-20s %6d %-10s %7d %12d %11d %8d %8d %8d %5d %5d %6d %6d %5d %5d %5d %5d\n",
 			r.Scenario, r.Seed, r.Ablation, r.Events, r.TotalRefs,
 			r.Processes, r.LiveProcesses, r.Threads, r.CodeRegions+r.DataRegions,
-			r.LMKKills, r.Trims, r.InputDispatched, r.InputDropped)
+			r.LMKKills, r.Trims, r.InputDispatched, r.InputDropped,
+			r.FaultsInjected, r.FaultsDetected, r.FaultsRecovered, r.ANRs)
 		for _, a := range r.Apps {
 			fmt.Fprintf(w, "    %-14s %-22s %12d %6.2f%%", a.Name, a.Workload, a.Refs, a.Share*100)
 			if a.InputDispatched > 0 || a.InputDropped > 0 {
@@ -159,6 +176,9 @@ func WriteScenarioMatrix(w io.Writer, outputs []suite.RunOutput[*core.Result]) {
 				if a.InputDispatched > 0 {
 					fmt.Fprintf(w, " lat mean=%.1fus max=%.1fus", a.InputLatencyMeanUS, a.InputLatencyMaxUS)
 				}
+			}
+			if a.ANRs > 0 {
+				fmt.Fprintf(w, " anr=%d", a.ANRs)
 			}
 			fmt.Fprintln(w)
 		}

@@ -102,7 +102,7 @@ func TestDecodeRejectsIllFormedDocuments(t *testing.T) {
 			valid(func(s string) string {
 				return strings.Replace(s, `"kind": "launch", "app": "b"`, `"kind": "teleport", "app": "b"`, 1)
 			}),
-			`timeline[1]: unknown event kind "teleport" (valid kinds: launch, switchto, background, kill, idle, pressure, tap, key, swipe)`,
+			`timeline[1]: unknown event kind "teleport" (valid kinds: launch, switchto, background, kill, idle, pressure, tap, key, swipe, faultBinder, crashService, killMediaserver, corruptParcel)`,
 		},
 		{
 			"event on undeclared app",

@@ -93,6 +93,19 @@ type Result struct {
 	// empty when the timeline injected no input.
 	InputApps []InputAppStats
 
+	// The dependability section. FaultsInjected counts fault events that
+	// actually fired (a fault at a runtime-dead target drops and counts
+	// nothing); FaultsDetected counts injected failures some framework or
+	// app code observed and survived via its error path; FaultsRecovered
+	// counts completed recovery actions — crashed services relaunched,
+	// mediaserver restarts, and player sessions re-established across
+	// them. ANRs counts Application Not Responding episodes the watchdog
+	// flagged (per-app counts ride on InputApps).
+	FaultsInjected  int
+	FaultsDetected  int
+	FaultsRecovered int
+	ANRs            int
+
 	Duration sim.Ticks
 }
 
@@ -208,6 +221,7 @@ func Run(s *Scenario, cfg Config) (*Result, error) {
 		res.InputDispatched += st.Dispatched
 		res.InputDropped += st.Dropped
 	}
+	res.FaultsInjected, res.FaultsDetected, res.FaultsRecovered, res.ANRs = sys.Inject.Counts()
 	return res, nil
 }
 
@@ -257,6 +271,57 @@ func (d *driver) apply(ex *kernel.Exec, ev Event) {
 		// the driver; whether anything dies is the lowmemorykiller's call.
 		ex.Syscall(800, 200)
 		sys.K.Balloon(ev.Pages)
+	case FaultBinder:
+		// A target that died at run time (the lowmemorykiller got it) drops
+		// the fault without effect — the runtime counterpart of the
+		// validator's liveness rule.
+		sys.InjectBinderFault(ex, ev.App)
+	case CorruptParcel:
+		sys.InjectCorruptParcel(ex, ev.App)
+	case CrashService:
+		d.crashService(ex, ev)
+	case KillMediaserver:
+		sys.CrashMediaserver(ex)
+	}
+}
+
+// crashService kills the target as a native crash would and performs the
+// ActivityManager's system-restart recovery: the process comes straight
+// back under the same name. The script considers the app continuously live
+// — later events target the restarted incarnation. A runtime-dead target
+// drops the fault.
+func (d *driver) crashService(ex *kernel.Exec, ev Event) {
+	sys := d.sys
+	a, ok := d.live[ev.App]
+	if !ok || a.Dead {
+		return
+	}
+	wasFg := d.foreground == ev.App
+	prevFg := d.foreground
+	sys.CrashApp(ex, a)
+	delete(d.live, ev.App)
+	if wasFg {
+		d.foreground = ""
+	}
+	w := d.byName[ev.App]
+	restarted := apps.LaunchAs(sys, w, ev.App, d.cfg.DisableJIT)
+	d.live[ev.App] = restarted
+	sys.Inject.NoteRecovered()
+	if w.Background {
+		return
+	}
+	if wasFg {
+		// The crashed activity held the screen; its restart takes it back.
+		d.foreground = ev.App
+		return
+	}
+	// It was behind another app: the restart happens in the background and
+	// the previous foreground app keeps (formally, retakes) its slot.
+	sys.PauseApp(ex, restarted)
+	if prevFg != "" {
+		if p, ok := d.live[prevFg]; ok && !p.Dead {
+			sys.ResumeApp(ex, p)
+		}
 	}
 }
 

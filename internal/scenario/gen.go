@@ -1,7 +1,7 @@
 // Seeded procedural scenario generation: the suite's answer to "as many
 // scenarios as you can imagine". The bundled library is ten hand-written
 // sessions; Generate turns scenario diversity into a sweep axis instead — a
-// (seed, app count, event density, pressure, inputs) tuple deterministically
+// (seed, app count, event density, pressure, inputs, faults) tuple deterministically
 // expands into a valid multi-app session, so a plan can cross N generated
 // sessions with seeds and ablations exactly as it crosses bundled ones, and
 // any interesting point of the space can be pinned down, exported to JSON
@@ -46,6 +46,13 @@ type GenConfig struct {
 	// outcomes are part of the session's measured profile. <= 0 generates
 	// no input events.
 	Inputs int
+	// Faults is the number of fault-injection events (faultBinder,
+	// crashService, corruptParcel, killMediaserver) woven into the
+	// timeline on top of the Events budget. Targeted faults aim at apps
+	// the lifecycle script has live at that instant, so the generated
+	// scenario always validates; a fault drawn where nothing is live
+	// becomes a mediaserver kill. <= 0 generates no fault events.
+	Faults int
 }
 
 // DefaultGenApps is the default generated-session scale: 10 concurrently
@@ -69,22 +76,26 @@ func (cfg GenConfig) normalize() GenConfig {
 	if cfg.Inputs < 0 {
 		cfg.Inputs = 0
 	}
+	if cfg.Faults < 0 {
+		cfg.Faults = 0
+	}
 	return cfg
 }
 
 // Name is the generated scenario's identifier: the full knob tuple, so a
-// name alone reproduces the session ("gen-s7-a10-e40-p2-i12").
+// name alone reproduces the session ("gen-s7-a10-e40-p2-i12-f3").
 func (cfg GenConfig) Name() string {
 	cfg = cfg.normalize()
-	return fmt.Sprintf("gen-s%d-a%d-e%d-p%d-i%d",
-		cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs)
+	return fmt.Sprintf("gen-s%d-a%d-e%d-p%d-i%d-f%d",
+		cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs, cfg.Faults)
 }
 
 // Generate deterministically expands the config into a valid scenario:
 // every app (workload drawn from the Agave suite) is launched in the
 // timeline's opening phase, then the remaining event budget is spent on
 // legal lifecycle churn — switches, backgrounds, kill/relaunch cycles,
-// idle gaps, and (when Pressure > 0) external memory demand. The result
+// idle gaps, and (when Pressure > 0) external memory demand — plus the
+// requested input gestures and injected faults. The result
 // always passes Validate, and its MaxLiveApps equals the requested app
 // count; generation cannot fail.
 func Generate(cfg GenConfig) *Scenario {
@@ -94,10 +105,10 @@ func Generate(cfg GenConfig) *Scenario {
 
 	s := &Scenario{
 		Name: cfg.Name(),
-		Description: fmt.Sprintf("generated session: %d apps, %d events, pressure %d, %d inputs, seed %d",
-			cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs, cfg.Seed),
-		Source: fmt.Sprintf("gen(seed=%d apps=%d events=%d pressure=%d inputs=%d)",
-			cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs),
+		Description: fmt.Sprintf("generated session: %d apps, %d events, pressure %d, %d inputs, %d faults, seed %d",
+			cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs, cfg.Faults, cfg.Seed),
+		Source: fmt.Sprintf("gen(seed=%d apps=%d events=%d pressure=%d inputs=%d faults=%d)",
+			cfg.Seed, cfg.Apps, cfg.Events, cfg.Pressure, cfg.Inputs, cfg.Faults),
 	}
 	for i := 0; i < cfg.Apps; i++ {
 		s.Apps = append(s.Apps, App{
@@ -238,6 +249,65 @@ func Generate(cfg GenConfig) *Scenario {
 				kind = Key
 			default:
 				kind = Swipe
+			}
+			s.Timeline = append(s.Timeline, Event{At: at, Kind: kind, App: target})
+		}
+		sort.SliceStable(s.Timeline, func(i, j int) bool {
+			return s.Timeline[i].At < s.Timeline[j].At
+		})
+	}
+
+	// Fault phase: weave cfg.Faults injection events over the interval.
+	// Targeted faults must aim at an app the lifecycle script has live at
+	// that instant (the validator's rule), so targets are drawn from the
+	// script's live spans; a draw landing where nothing is live falls back
+	// to killMediaserver, which names no app and is always legal. The
+	// stable merge places a fault after every lifecycle event at the same
+	// time, so spans use a half-open [launch, kill) interval: a fault at
+	// its target's launch instant lands after the launch (legal), one at
+	// the kill instant would land after the kill (excluded).
+	if cfg.Faults > 0 {
+		type span struct {
+			app      string
+			from, to Fraction
+		}
+		var spans []span
+		launchedAt := make(map[string]Fraction, len(s.Apps))
+		for _, ev := range s.Timeline {
+			switch ev.Kind {
+			case Launch:
+				launchedAt[ev.App] = ev.At
+			case Kill:
+				spans = append(spans, span{ev.App, launchedAt[ev.App], ev.At})
+				delete(launchedAt, ev.App)
+			}
+		}
+		// Apps still live at the end stay targetable through At=1000;
+		// close their spans in roster order for determinism.
+		for _, a := range s.Apps {
+			if from, ok := launchedAt[a.Name]; ok {
+				spans = append(spans, span{a.Name, from, 1001})
+			}
+		}
+		for i := 0; i < cfg.Faults; i++ {
+			at := Fraction(rng.Intn(1001))
+			var candidates []string
+			for _, sp := range spans {
+				if sp.from <= at && at < sp.to {
+					candidates = append(candidates, sp.app)
+				}
+			}
+			kind, target := KillMediaserver, ""
+			if roll := rng.Intn(100); roll >= 15 && len(candidates) > 0 {
+				target = candidates[rng.Intn(len(candidates))]
+				switch {
+				case roll < 50:
+					kind = FaultBinder
+				case roll < 80:
+					kind = CorruptParcel
+				default:
+					kind = CrashService
+				}
 			}
 			s.Timeline = append(s.Timeline, Event{At: at, Kind: kind, App: target})
 		}

@@ -72,7 +72,7 @@ func TestGenerateDefaultsAndName(t *testing.T) {
 	if len(s.Apps) != DefaultGenApps {
 		t.Fatalf("default app count = %d, want %d", len(s.Apps), DefaultGenApps)
 	}
-	if s.Name != "gen-s7-a10-e40-p0-i0" {
+	if s.Name != "gen-s7-a10-e40-p0-i0-f0" {
 		t.Fatalf("generated name = %q", s.Name)
 	}
 	if s.Source == "" {

@@ -224,7 +224,7 @@ func TestGeneratorInputsKnob(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatalf("generated input session invalid: %v", err)
 	}
-	if s.Name != "gen-s5-a3-e12-p0-i10" {
+	if s.Name != "gen-s5-a3-e12-p0-i10-f0" {
 		t.Fatalf("name = %q", s.Name)
 	}
 	var gestures int

@@ -16,6 +16,8 @@ func Library() []*Scenario {
 		cachedAppEviction(),
 		thumbScroll(),
 		arcadeRally(),
+		binderStorm(),
+		mediaserverMeltdown(),
 	}
 }
 
@@ -282,6 +284,72 @@ func arcadeRally() *Scenario {
 			{At: 780, Kind: Swipe, App: "game"},
 			{At: 880, Kind: Tap, App: "game"},
 			{At: 1000, Kind: Key, App: "game"}, // final measured tick
+		},
+	}
+}
+
+// binderStorm — the fault-injection plane end to end: one-shot binder
+// failures and corrupt parcels drive three live apps down their error
+// paths (every injection is detected, none is fatal), then a native crash
+// takes the foreground game out mid-gesture-stream and the
+// ActivityManager's service restart brings it straight back — later
+// gestures land on the restarted incarnation. The scripted kill at the
+// end contrasts an orderly teardown with the crash before it.
+func binderStorm() *Scenario {
+	return &Scenario{
+		Name:        "binder-storm",
+		Description: "binder faults and corrupt parcels across three apps; a crashed game restarts and keeps playing",
+		Apps: []App{
+			{Name: "dict", Workload: "aard.main"},
+			{Name: "timer", Workload: "countdown.main"},
+			{Name: "game", Workload: "frozenbubble.main"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "dict"},
+			{At: 70, Kind: Launch, App: "timer"},
+			{At: 140, Kind: Launch, App: "game"},
+			{At: 210, Kind: Tap, App: "game"},
+			{At: 260, Kind: FaultBinder, App: "dict"},
+			{At: 330, Kind: CorruptParcel, App: "timer"},
+			{At: 390, Kind: Tap, App: "game"},
+			{At: 450, Kind: FaultBinder, App: "game"},
+			{At: 520, Kind: CrashService, App: "game"}, // crash + AM restart
+			{At: 600, Kind: Tap, App: "game"},          // restarted incarnation
+			{At: 660, Kind: CorruptParcel, App: "dict"},
+			{At: 730, Kind: Swipe, App: "game"},
+			{At: 800, Kind: FaultBinder, App: "timer"},
+			{At: 880, Kind: Kill, App: "timer"}, // orderly teardown, for contrast
+			{At: 940, Kind: Tap, App: "game"},
+		},
+	}
+}
+
+// mediaserverMeltdown — mediaserver dies twice mid-playback: each kill
+// aborts queued transactions with DEAD_REPLY, the init-style restart
+// adopts the live player sessions under their old ids, and both apps'
+// decode streams resume on the replacement server. Seek gestures bracket
+// each kill so scrubs land before, during (tolerated: the player keeps
+// its handle), and after the restart window.
+func mediaserverMeltdown() *Scenario {
+	return &Scenario{
+		Name:        "mediaserver-meltdown",
+		Description: "mediaserver killed twice mid-playback; sessions adopted across restarts, seeks survive",
+		Apps: []App{
+			{Name: "music", Workload: "music.mp3.view"},
+			{Name: "gallery", Workload: "gallery.mp4.view"},
+		},
+		Timeline: []Event{
+			{At: 0, Kind: Launch, App: "music"},
+			{At: 90, Kind: Launch, App: "gallery"},
+			{At: 180, Kind: Tap, App: "gallery"}, // scrub via mediaserver
+			{At: 280, Kind: KillMediaserver},
+			{At: 340, Kind: Tap, App: "gallery"}, // scrub on the restarted server
+			{At: 430, Kind: SwitchTo, App: "music"},
+			{At: 520, Kind: Swipe, App: "music"}, // seekbar drag
+			{At: 620, Kind: KillMediaserver},
+			{At: 700, Kind: Tap, App: "music"},
+			{At: 800, Kind: SwitchTo, App: "gallery"},
+			{At: 900, Kind: Tap, App: "gallery"},
 		},
 	}
 }

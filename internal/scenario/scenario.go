@@ -3,13 +3,17 @@
 // emerges from interaction across the stack — yet classic benchmark runs
 // boot one app and hold it foreground for the whole measured interval. A
 // Scenario instead scripts a deterministic timeline of lifecycle events
-// (Launch, SwitchTo, Background, Kill, Idle), memory pressure, and input
+// (Launch, SwitchTo, Background, Kill, Idle), memory pressure, input
 // gestures (Tap, Key, Swipe — delivered through system_server's
-// InputDispatcher to the focused app's looper) over several named apps drawn
-// from the existing workload suite: apps launch mid-measurement, pause and
-// resume through their main-thread loopers, die under ActivityManager
-// teardown, run concurrently under the ordinary scheduler quantum, and do
-// input-driven work that moves the measured CPU and memory profile.
+// InputDispatcher to the focused app's looper), and injected faults
+// (FaultBinder, CrashService, KillMediaserver, CorruptParcel — driven
+// through the framework's injection plane, with ActivityManager-style
+// recovery and an ANR watchdog measuring the fallout) over several named
+// apps drawn from the existing workload suite: apps launch mid-measurement,
+// pause and resume through their main-thread loopers, die under
+// ActivityManager teardown, run concurrently under the ordinary scheduler
+// quantum, and do input-driven work that moves the measured CPU and memory
+// profile.
 // Every reference is attributed per (process, thread, region) exactly as in
 // single-app runs — each app is its own process — so stats.Fingerprint
 // remains the determinism and comparison primitive.
@@ -66,6 +70,26 @@ const (
 	// Swipe injects a multi-sample touch gesture (down, moves, up) aimed
 	// at the named app, under the same focus-or-drop delivery rule.
 	Swipe
+	// FaultBinder arms a one-shot binder transaction failure on the named
+	// app's service endpoint and drives a framework callback into it, so
+	// the transaction returns an error to the sender instead of reaching
+	// the app. The target must be live when the event fires; a target that
+	// died at run time (say, under the lowmemorykiller) drops the fault.
+	FaultBinder
+	// CrashService kills the named app's process the way a native crash
+	// does — no orderly destroy transaction — and lets the
+	// ActivityManager's system-restart recovery relaunch it. The app stays
+	// "live" from the script's point of view: later events may target it.
+	CrashService
+	// KillMediaserver kills the mediaserver process outright and restarts
+	// it, init-style. In-flight player sessions are torn down with the old
+	// process and relaunched on the replacement under their old handles.
+	// It names no app.
+	KillMediaserver
+	// CorruptParcel sends the named app's service endpoint a deliberately
+	// malformed parcel, forcing the receiver through its error path. Like
+	// FaultBinder it needs a live target at fire time.
+	CorruptParcel
 )
 
 // String names the event kind as scripts spell it.
@@ -89,6 +113,14 @@ func (k Kind) String() string {
 		return "key"
 	case Swipe:
 		return "swipe"
+	case FaultBinder:
+		return "faultBinder"
+	case CrashService:
+		return "crashService"
+	case KillMediaserver:
+		return "killMediaserver"
+	case CorruptParcel:
+		return "corruptParcel"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
@@ -175,11 +207,58 @@ func (s *Scenario) MaxLiveApps() int {
 	return max
 }
 
+// livenessRule classifies how Validate holds an event kind against the
+// script's live-app state. The rules used to live in an ad-hoc switch that
+// exempted only the input kinds; the table generalizes the exemption so
+// every kind declares its contract in one place and a new kind cannot
+// silently fall through to a runtime panic.
+type livenessRule uint8
+
+const (
+	// needsDead: the target must not be running (Launch).
+	needsDead livenessRule = iota
+	// needsLive: the target must be running at this point of the timeline.
+	needsLive
+	// killsTarget: needsLive, and the event removes the target from the
+	// live set.
+	killsTarget
+	// needsLiveService: needsLive for a fault-injection kind. The script
+	// must aim faults at services that exist — only runtime deaths (a
+	// lowmemorykiller kill the script didn't write) downgrade a fault to a
+	// silent drop. Violations report the timeline index, following the
+	// codec's field-indexed error convention.
+	needsLiveService
+	// exemptTarget: any declared target is legal at any point — the event
+	// resolves liveness at run time (input kinds drop at dead targets).
+	exemptTarget
+	// noTarget: the event names no app (Idle, Pressure, KillMediaserver).
+	noTarget
+)
+
+// liveness is the per-kind validation contract. Every kind ParseKind
+// accepts appears here; Validate rejects kinds it does not know.
+var liveness = map[Kind]livenessRule{
+	Launch:          needsDead,
+	SwitchTo:        needsLive,
+	Background:      needsLive,
+	Kill:            killsTarget,
+	Idle:            noTarget,
+	Pressure:        noTarget,
+	Tap:             exemptTarget,
+	Key:             exemptTarget,
+	Swipe:           exemptTarget,
+	FaultBinder:     needsLiveService,
+	CrashService:    needsLiveService,
+	KillMediaserver: noTarget,
+	CorruptParcel:   needsLiveService,
+}
+
 // Validate checks the scenario is well-formed and that its timeline is a
-// legal lifecycle history: events in order, every event targeting a
-// declared app, launches only of dead apps, switches/backgrounds/kills only
-// of live ones. The engine runs only validated scenarios, so mid-run
-// failures cannot occur.
+// legal lifecycle history per the liveness table: events in order, every
+// event targeting a declared app, launches only of dead apps,
+// switches/backgrounds/kills/faults only of live ones (CrashService leaves
+// its target live — the ActivityManager restarts it in place). The engine
+// runs only validated scenarios, so mid-run failures cannot occur.
 func (s *Scenario) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: empty name")
@@ -212,24 +291,22 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario %s: timeline not ordered by At", s.Name)
 	}
 	live := make(map[string]bool)
-	for _, ev := range s.Timeline {
+	for i, ev := range s.Timeline {
 		if ev.At < 0 || ev.At > 1000 {
 			return fmt.Errorf("scenario %s: event %q outside [0,1000]", s.Name, ev)
 		}
 		if ev.Kind != Pressure && ev.Pages != 0 {
 			return fmt.Errorf("scenario %s: event %q carries a page delta", s.Name, ev)
 		}
-		if ev.Kind == Idle {
-			if ev.App != "" {
-				return fmt.Errorf("scenario %s: idle event names app %q", s.Name, ev.App)
-			}
-			continue
+		rule, known := liveness[ev.Kind]
+		if !known {
+			return fmt.Errorf("scenario %s: event %q has unknown kind", s.Name, ev)
 		}
-		if ev.Kind == Pressure {
+		if rule == noTarget {
 			if ev.App != "" {
-				return fmt.Errorf("scenario %s: pressure event names app %q", s.Name, ev.App)
+				return fmt.Errorf("scenario %s: %s event names app %q", s.Name, ev.Kind, ev.App)
 			}
-			if ev.Pages == 0 {
+			if ev.Kind == Pressure && ev.Pages == 0 {
 				return fmt.Errorf("scenario %s: pressure event with zero page delta", s.Name)
 			}
 			continue
@@ -237,27 +314,29 @@ func (s *Scenario) Validate() error {
 		if !declared[ev.App] {
 			return fmt.Errorf("scenario %s: event %q targets undeclared app", s.Name, ev)
 		}
-		switch ev.Kind {
-		case Tap, Key, Swipe:
+		switch rule {
+		case exemptTarget:
 			// Input events are exempt from the liveness rules: a tap at
 			// a dead or backgrounded app is a legal script — the
 			// dispatcher drops it at run time and the report counts it.
-		case Launch:
+		case needsDead:
 			if live[ev.App] {
 				return fmt.Errorf("scenario %s: event %q launches an app that is already running", s.Name, ev)
 			}
 			live[ev.App] = true
-		case SwitchTo, Background:
+		case needsLive:
 			if !live[ev.App] {
 				return fmt.Errorf("scenario %s: event %q targets an app that is not running", s.Name, ev)
 			}
-		case Kill:
+		case killsTarget:
 			if !live[ev.App] {
 				return fmt.Errorf("scenario %s: event %q kills an app that is not running", s.Name, ev)
 			}
 			delete(live, ev.App)
-		default:
-			return fmt.Errorf("scenario %s: event %q has unknown kind", s.Name, ev)
+		case needsLiveService:
+			if !live[ev.App] {
+				return fmt.Errorf("scenario %s: timeline[%d]: event %q injects a fault into an app that is not running", s.Name, i, ev)
+			}
 		}
 	}
 	return nil

@@ -16,16 +16,20 @@ import (
 	"agave/internal/suite"
 )
 
-// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 5 multi-app
-// scenarios with 2 seeds and the full ablation sweep: 10 × 2 × 3 = 60 runs,
+// determinismPlan crosses 3 Agave workloads + 2 SPEC baselines + 7 multi-app
+// scenarios with 2 seeds and the full ablation sweep: 12 × 2 × 3 = 72 runs,
 // above the 25-run bar the engine must hold the guarantee at. The scenario
 // axis is deliberately the hostile set: concurrent live apps (social-burst)
 // and kill/relaunch churn (app-churn) are where scheduling nondeterminism
 // would surface first, the two pressure scenarios (memory-storm,
 // cached-app-eviction) add emergent lowmemorykiller kills and onTrimMemory
-// traffic, and arcade-rally pushes input events through the InputDispatcher
+// traffic, arcade-rally pushes input events through the InputDispatcher
 // with gestures racing process kills — system-initiated events and
-// drop accounting that must still replay bit-identically.
+// drop accounting that must still replay bit-identically — and the two
+// chaos scenarios (binder-storm, mediaserver-meltdown) drive the fault
+// injection plane: armed binder failures, service crash/restart cycles, and
+// mediaserver kills with session adoption, all of which must land at the
+// same simulated instants under any worker count.
 func determinismPlan() suite.Plan {
 	return suite.Plan{
 		Benchmarks: []string{
@@ -36,11 +40,13 @@ func determinismPlan() suite.Plan {
 			"462.libquantum",    // SPEC baseline
 		},
 		Scenarios: []string{
-			"social-burst",        // 4 concurrently-live apps
-			"app-churn",           // kill/relaunch lifecycle stress
-			"memory-storm",        // emergent lowmemorykiller kills
-			"cached-app-eviction", // trim rescue + LRU eviction
-			"arcade-rally",        // InputDispatcher traffic + mid-kill drops
+			"social-burst",         // 4 concurrently-live apps
+			"app-churn",            // kill/relaunch lifecycle stress
+			"memory-storm",         // emergent lowmemorykiller kills
+			"cached-app-eviction",  // trim rescue + LRU eviction
+			"arcade-rally",         // InputDispatcher traffic + mid-kill drops
+			"binder-storm",         // binder faults + corrupt parcels + crash/restart
+			"mediaserver-meltdown", // mediaserver kills + session adoption
 		},
 		Seeds:     []uint64{1, 7},
 		Ablations: suite.DefaultAblations,
@@ -56,7 +62,7 @@ func quickCfg() core.Config {
 
 func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
 	if testing.Short() {
-		t.Skip("42-run sweep")
+		t.Skip("72-run sweep")
 	}
 	plan := determinismPlan()
 	if plan.Size() < 25 {
@@ -107,10 +113,11 @@ func TestParallelSweepBitIdenticalToSerial(t *testing.T) {
 // TestAdHocScenarioSweepBitIdenticalToSerial extends the determinism
 // guarantee to the two scenario sources that bypass the bundled registry:
 // documents decoded from committed scenario files and generator output
-// (including a 10-app session, the scale bar, and a pressure-knob session
-// with emergent lowmemorykiller activity). Same plan, same seeds: the
-// 8-worker sweep must be bit-identical to the serial one, counter matrix
-// and census included, exactly as for bundled units.
+// (including a 10-app session, the scale bar, a pressure-knob session with
+// emergent lowmemorykiller activity, and a fault-knob session driving the
+// injection plane). Same plan, same seeds: the 8-worker sweep must be
+// bit-identical to the serial one, counter matrix and census included,
+// exactly as for bundled units.
 func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run ad-hoc scenario sweep")
@@ -125,6 +132,7 @@ func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
 			scenario.Generate(scenario.GenConfig{Seed: 3, Apps: 10}),
 			scenario.Generate(scenario.GenConfig{Seed: 4, Apps: 5, Events: 30, Pressure: 2}),
 			scenario.Generate(scenario.GenConfig{Seed: 5, Apps: 4, Events: 16, Inputs: 24}),
+			scenario.Generate(scenario.GenConfig{Seed: 6, Apps: 4, Events: 16, Faults: 10}),
 		},
 		Seeds: []uint64{1, 7},
 	}
@@ -175,11 +183,21 @@ func TestAdHocScenarioSweepBitIdenticalToSerial(t *testing.T) {
 				sr.Session.InputDispatched, sr.Session.InputDropped,
 				pr.Session.InputDispatched, pr.Session.InputDropped)
 		}
+		if sr.Session.FaultsInjected != pr.Session.FaultsInjected ||
+			sr.Session.FaultsDetected != pr.Session.FaultsDetected ||
+			sr.Session.FaultsRecovered != pr.Session.FaultsRecovered ||
+			sr.Session.ANRs != pr.Session.ANRs {
+			t.Errorf("%s: dependability outcome diverged: %d/%d/%d/%d vs %d/%d/%d/%d", name,
+				sr.Session.FaultsInjected, sr.Session.FaultsDetected,
+				sr.Session.FaultsRecovered, sr.Session.ANRs,
+				pr.Session.FaultsInjected, pr.Session.FaultsDetected,
+				pr.Session.FaultsRecovered, pr.Session.ANRs)
+		}
 	}
 	// The 10-app generated session must actually hit the requested scale at
 	// runtime, not only statically: peak live census is part of the result.
 	for _, o := range serial {
-		if o.Spec.Def != nil && o.Spec.Benchmark == "gen-s3-a10-e40-p0-i0" && o.Result.Session.MaxLive != 10 {
+		if o.Spec.Def != nil && o.Spec.Benchmark == "gen-s3-a10-e40-p0-i0-f0" && o.Result.Session.MaxLive != 10 {
 			t.Errorf("10-app generated session peaked at %d live apps", o.Result.Session.MaxLive)
 		}
 	}
