@@ -1,7 +1,10 @@
 // Command benchdiff is the benchmark-regression gate of the CI pipeline.
 // It parses `go test -bench` text output into a stable JSON document and
 // compares it against a committed baseline, failing when any benchmark's
-// ns/op regresses beyond a threshold.
+// ns/op regresses beyond a threshold. Every invocation itemizes the run one
+// line per benchmark — deltas (ns/op gating, B/op and allocs/op informational)
+// when a baseline is given, raw values otherwise — so reading a
+// BENCH_<sha>.json trend never requires diffing JSON by hand.
 //
 // Usage:
 //
@@ -147,6 +150,9 @@ type Delta struct {
 	// growth ratio against it would be NaN/Inf, so the entry is reported
 	// as broken instead of silently passing the gate.
 	Incomparable bool
+	// Memory movement rides along for trend reading; only ns/op gates.
+	BaseBytes, CurBytes   float64
+	BaseAllocs, CurAllocs float64
 }
 
 // compare evaluates cur against base: every shared benchmark whose ns/op
@@ -166,7 +172,11 @@ func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, b
 			newOnly = append(newOnly, c.Name)
 			continue
 		}
-		d := Delta{Name: c.Name, Base: b.NsPerOp, Cur: c.NsPerOp}
+		d := Delta{
+			Name: c.Name, Base: b.NsPerOp, Cur: c.NsPerOp,
+			BaseBytes: b.BytesPerOp, CurBytes: c.BytesPerOp,
+			BaseAllocs: b.AllocsOp, CurAllocs: c.AllocsOp,
+		}
 		if b.NsPerOp > 0 {
 			d.Growth = (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 			d.Regressed = d.Growth > threshold
@@ -183,6 +193,34 @@ func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, b
 	sort.Strings(newOnly)
 	sort.Strings(baseOnly)
 	return deltas, newOnly, baseOnly
+}
+
+// memDelta renders a benchmark's memory movement as a line suffix, or ""
+// when neither side recorded memory (the run lacked -benchmem). Memory is
+// informational: it never gates, so it carries no ok/REGRESSED status.
+func memDelta(d Delta) string {
+	var parts []string
+	if d.BaseBytes != 0 || d.CurBytes != 0 {
+		parts = append(parts, fmt.Sprintf("%.0f -> %.0f B/op%s",
+			d.BaseBytes, d.CurBytes, growthTag(d.BaseBytes, d.CurBytes)))
+	}
+	if d.BaseAllocs != 0 || d.CurAllocs != 0 {
+		parts = append(parts, fmt.Sprintf("%.0f -> %.0f allocs/op%s",
+			d.BaseAllocs, d.CurAllocs, growthTag(d.BaseAllocs, d.CurAllocs)))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "  [" + strings.Join(parts, ", ") + "]"
+}
+
+// growthTag formats a percentage change, or "" when the base is non-positive
+// and no finite ratio exists.
+func growthTag(base, cur float64) string {
+	if base <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" %+.1f%%", (cur-base)/base*100)
 }
 
 func main() {
@@ -232,6 +270,16 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *write, len(cur.Benchmarks))
 	}
 	if *baseline == "" {
+		// No baseline to diff against, but the run should still read like
+		// one: one line per benchmark, so a snapshot-only invocation never
+		// needs manual JSON spelunking.
+		for _, b := range cur.Benchmarks {
+			line := fmt.Sprintf("%-40s %14.0f ns/op", b.Name, b.NsPerOp)
+			if b.BytesPerOp != 0 || b.AllocsOp != 0 {
+				line += fmt.Sprintf("  %12.0f B/op  %8.0f allocs/op", b.BytesPerOp, b.AllocsOp)
+			}
+			fmt.Fprintln(stdout, line)
+		}
 		return 0
 	}
 	data, err := os.ReadFile(*baseline)
@@ -258,8 +306,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Fprintf(stdout, "%-40s %14.0f -> %14.0f ns/op  %+7.1f%%  %s\n",
-			d.Name, d.Base, d.Cur, d.Growth*100, status)
+		fmt.Fprintf(stdout, "%-40s %14.0f -> %14.0f ns/op  %+7.1f%%  %s%s\n",
+			d.Name, d.Base, d.Cur, d.Growth*100, status, memDelta(d))
 	}
 	for _, n := range newOnly {
 		fmt.Fprintf(stdout, "%-40s (new: no baseline entry)\n", n)

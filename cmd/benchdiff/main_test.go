@@ -194,13 +194,22 @@ func TestMainWriteThenCompareRoundTrip(t *testing.T) {
 		t.Fatalf("written snapshot is not valid JSON: %v", err)
 	}
 
-	// The identical run compares clean and writes the artifact snapshot.
+	// The identical run compares clean, itemizes every benchmark with its
+	// memory movement, and writes the artifact snapshot.
 	code, out, errOut := invoke(t, sampleOutput, "-write", curFile, "-baseline", baseFile)
 	if code != 0 {
 		t.Fatalf("identical run flagged: code=%d stderr=%q\n%s", code, errOut, out)
 	}
 	if !strings.Contains(out, "within 25% of baseline") {
 		t.Fatalf("missing pass summary:\n%s", out)
+	}
+	for _, want := range []string{"SuiteSerial", "SuiteParallel", "Scenario/social-burst"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("success output does not itemize %s:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "524288 -> 524288 B/op") || !strings.Contains(out, "1024 -> 1024 allocs/op") {
+		t.Fatalf("memory deltas missing from comparison lines:\n%s", out)
 	}
 	if _, err := os.Stat(curFile); err != nil {
 		t.Fatalf("artifact snapshot not written: %v", err)
@@ -246,6 +255,35 @@ func TestMainNewBenchmarkIsAdditionNotFailure(t *testing.T) {
 	}
 	if strings.Contains(out, "REGRESSED") || strings.Contains(out, "INCOMPARABLE") {
 		t.Fatalf("addition misreported as failure:\n%s", out)
+	}
+}
+
+// TestMainWriteOnlySummarizesPerBenchmark: a snapshot-only invocation (the
+// shape used when establishing a fresh baseline) prints one readable line
+// per benchmark instead of leaving everything inside the JSON file.
+func TestMainWriteOnlySummarizesPerBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	code, out, errOut := invoke(t, sampleOutput, "-write", filepath.Join(dir, "BENCH_fresh.json"))
+	if code != 0 {
+		t.Fatalf("write: code=%d stderr=%q", code, errOut)
+	}
+	for _, want := range []string{
+		"wrote",
+		"SuiteSerial",
+		"1200000000 ns/op",
+		"524288 B/op",
+		"1024 allocs/op",
+		"Scenario/social-burst",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("write-only output missing %q:\n%s", want, out)
+		}
+	}
+	// social-burst ran without -benchmem columns: no fabricated zeros.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "social-burst") && strings.Contains(line, "B/op") {
+			t.Fatalf("memoryless benchmark grew memory columns: %q", line)
+		}
 	}
 }
 

@@ -9,14 +9,18 @@
 //  2. Every relative link in the repository's markdown files resolves to an
 //     existing file or directory, so the architecture map and README never
 //     point at paths a refactor moved.
-//  3. Every markdown file referenced from a Go comment ("see
-//     docs/ARCHITECTURE.md") exists, resolved against the repo root or the
-//     referencing file's directory — godoc prose is where renamed design
-//     documents dangle the longest.
-//  4. Every event kind the scenario codec accepts appears as a heading in
+//  3. Every event kind the scenario codec accepts appears as a heading in
 //     docs/SCENARIOS.md, so a new timeline kind cannot ship without its
 //     schema reference — the document is held to scenario.KindNames, not
 //     the other way around.
+//  4. Every analyzer registered in internal/lint/analyzers appears as a
+//     heading in docs/LINT.md, so a new lint invariant cannot ship without
+//     its reference entry — same contract as the scenario kinds.
+//
+// A third Go-side invariant used to live here: every markdown file a Go
+// comment references must exist. That check is now the docref analyzer in
+// cmd/agavelint, where it is suppressible and fixture-tested; docscheck
+// keeps the markdown-side gates.
 //
 // Usage: docscheck [repo-root] (default ".", exits non-zero on any finding).
 package main
@@ -32,6 +36,7 @@ import (
 	"regexp"
 	"strings"
 
+	"agave/internal/lint/analyzers"
 	"agave/internal/scenario"
 )
 
@@ -59,13 +64,8 @@ func run(root string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	findings = append(findings, linkFindings...)
-	refFindings, err := checkGoDocRefs(root)
-	if err != nil {
-		fmt.Fprintln(stderr, "docscheck:", err)
-		return 2
-	}
-	findings = append(findings, refFindings...)
 	findings = append(findings, checkScenarioKindDocs(root)...)
+	findings = append(findings, checkLintAnalyzerDocs(root)...)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(stderr, f)
@@ -132,61 +132,6 @@ func checkPackageComments(root string) ([]string, error) {
 // useful gate.
 var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
-// mdRef matches a bare markdown-file reference inside prose, e.g.
-// "docs/ARCHITECTURE.md" or "ROADMAP.md".
-var mdRef = regexp.MustCompile(`\b[A-Za-z0-9][A-Za-z0-9_./-]*\.md\b`)
-
-// checkGoDocRefs verifies that every markdown file mentioned in a Go comment
-// exists, resolved against the repo root or the referencing file's directory.
-func checkGoDocRefs(root string) ([]string, error) {
-	var findings []string
-	exists := func(path string) bool {
-		_, err := os.Stat(path)
-		return err == nil
-	}
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		name := d.Name()
-		if d.IsDir() {
-			if name == ".git" || name == "testdata" || name == ".claude" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(name, ".go") {
-			return nil
-		}
-		fset := token.NewFileSet()
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		rel, _ := filepath.Rel(root, path)
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if strings.Contains(c.Text, "://") {
-					continue // a URL's path may end in .md without being ours
-				}
-				for _, ref := range mdRef.FindAllString(c.Text, -1) {
-					if exists(filepath.Join(root, ref)) || exists(filepath.Join(filepath.Dir(path), ref)) {
-						continue
-					}
-					findings = append(findings, fmt.Sprintf(
-						"%s:%d: comment references %q, which exists neither at the repo root nor beside the file",
-						rel, fset.Position(c.Pos()).Line, ref))
-				}
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return findings, nil
-}
-
 // scenarioKindDoc is the scenario-schema reference checkScenarioKindDocs
 // holds to the codec, relative to the repo root.
 const scenarioKindDoc = "docs/SCENARIOS.md"
@@ -221,6 +166,43 @@ func checkScenarioKindDocs(root string) []string {
 			findings = append(findings, fmt.Sprintf(
 				"%s: event kind %q has no heading (the codec accepts it; document it)",
 				scenarioKindDoc, kind))
+		}
+	}
+	return findings
+}
+
+// lintAnalyzerDoc is the linter reference checkLintAnalyzerDocs holds to the
+// analyzer registry, relative to the repo root.
+const lintAnalyzerDoc = "docs/LINT.md"
+
+// checkLintAnalyzerDocs verifies that every analyzer registered in
+// internal/lint/analyzers appears as a markdown heading in docs/LINT.md,
+// exactly the contract checkScenarioKindDocs enforces for event kinds: the
+// document is held to analyzers.Names(), heading markers and backticks
+// stripped, and a missing document is itself a finding.
+func checkLintAnalyzerDocs(root string) []string {
+	path := filepath.Join(root, lintAnalyzerDoc)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf(
+			"%s: missing linter reference (every registered agavelint analyzer must be documented there)",
+			lintAnalyzerDoc)}
+	}
+	headings := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		h := strings.TrimSpace(strings.TrimLeft(line, "#"))
+		h = strings.Trim(h, "`")
+		headings[h] = true
+	}
+	var findings []string
+	for _, name := range analyzers.Names() {
+		if !headings[name] {
+			findings = append(findings, fmt.Sprintf(
+				"%s: analyzer %q has no heading (it is registered; document it)",
+				lintAnalyzerDoc, name))
 		}
 	}
 	return findings

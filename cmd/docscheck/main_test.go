@@ -6,14 +6,15 @@ import (
 	"strings"
 	"testing"
 
+	"agave/internal/lint/analyzers"
 	"agave/internal/scenario"
 )
 
 // TestRepositoryIsClean runs every gate against this repository: each
 // internal package must carry its canonical package comment, every relative
-// markdown link must resolve, and no Go comment may reference a markdown
-// file that no longer exists. This is the same check CI's docs job runs,
-// enforced locally by `go test`.
+// markdown link must resolve, and the scenario-kind and lint-analyzer
+// references must each cover their registries. This is the same check CI's
+// docs job runs, enforced locally by `go test`.
 func TestRepositoryIsClean(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(filepath.Join("..", ".."), &out, &errOut); code != 0 {
@@ -140,45 +141,43 @@ func TestDetectsUndocumentedScenarioKinds(t *testing.T) {
 	}
 }
 
-// TestDetectsDanglingGoCommentDocRefs: a Go comment naming a markdown file
-// that exists neither at the repo root nor beside the file is a finding;
-// references that resolve either way, and URLs whose path ends in .md, are
-// not.
-func TestDetectsDanglingGoCommentDocRefs(t *testing.T) {
+// TestDetectsUndocumentedLintAnalyzers: docs/LINT.md must carry one heading
+// per registered agavelint analyzer — a missing heading and a missing
+// document are both findings, and a fully-documented file is clean.
+func TestDetectsUndocumentedLintAnalyzers(t *testing.T) {
 	root := t.TempDir()
-	write := func(rel, content string) {
-		t.Helper()
-		path := filepath.Join(root, rel)
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	write("internal/good/good.go", "// Package good is documented.\npackage good\n")
-	write("docs/REAL.md", "x")
-	write("pkg/NOTES.md", "x")
-	src := strings.Join([]string{
-		"// Package pkg is fine. See docs/REAL.md for the design,",
-		"// NOTES.md beside this file, and https://example.com/GONE.md online.",
-		"package pkg",
-		"",
-		"// helper follows the plan in GONE.md exactly.",
-		"func helper() {}",
-	}, "\n")
-	write("pkg/pkg.go", src)
 
-	var out, errOut strings.Builder
-	if code := run(root, &out, &errOut); code != 1 {
-		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errOut.String())
+	// No document at all: one finding naming the reference doc.
+	got := strings.Join(checkLintAnalyzerDocs(root), "\n")
+	if !strings.Contains(got, "docs/LINT.md: missing linter reference") {
+		t.Errorf("missing document not reported:\n%s", got)
 	}
-	got := errOut.String()
-	if !strings.Contains(got, `pkg/pkg.go:5: comment references "GONE.md"`) {
-		t.Errorf("dangling reference not reported:\n%s", got)
+
+	// All analyzers but one documented: exactly the gap is reported.
+	names := analyzers.Names()
+	var doc strings.Builder
+	doc.WriteString("# agavelint reference\n")
+	for _, n := range names[1:] {
+		doc.WriteString("### `" + n + "`\n")
 	}
-	if strings.Contains(got, "REAL.md") || strings.Contains(got, "NOTES.md") ||
-		strings.Contains(got, "example.com") {
-		t.Errorf("false positives:\n%s", got)
+	if err := os.MkdirAll(filepath.Join(root, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "docs", "LINT.md")
+	if err := os.WriteFile(path, []byte(doc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings := checkLintAnalyzerDocs(root)
+	if len(findings) != 1 || !strings.Contains(findings[0], `analyzer "`+names[0]+`" has no heading`) {
+		t.Errorf("want exactly the %q gap, got:\n%s", names[0], strings.Join(findings, "\n"))
+	}
+
+	// The gap closed (heading marker depth and backticks must not matter).
+	full := doc.String() + "## " + names[0] + "\n"
+	if err := os.WriteFile(path, []byte(full), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if findings := checkLintAnalyzerDocs(root); len(findings) != 0 {
+		t.Errorf("documented analyzers flagged:\n%s", strings.Join(findings, "\n"))
 	}
 }

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"agave/internal/lint/load"
+)
+
+// allowPrefix introduces a suppression directive. The full form is
+//
+//	//agave:allow <analyzer> <reason>
+//
+// A directive written inline (after code on the same line) suppresses that
+// analyzer's findings on its own line; a directive standing alone on a line
+// suppresses them on the line that follows. The scope is deliberately that
+// narrow: a directive three lines up never silences anything, so every
+// suppressed finding is visibly annotated at its site. The reason is
+// mandatory — an allow without a why is how invariants erode — and the
+// analyzer name must be one the driver knows, so a typo cannot create a
+// directive that silently allows nothing.
+const allowPrefix = "//agave:allow"
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every file's comments for //agave:allow directives,
+// returning the suppression table plus a finding (analyzer "allow") for each
+// malformed directive. Malformed directives are never themselves
+// suppressible.
+func collectAllows(fset *token.FileSet, pkgs []*load.Package, known map[string]bool) (map[allowKey]bool, []Finding, error) {
+	allows := make(map[allowKey]bool)
+	var findings []Finding
+	lineCache := make(map[string][]string)
+	knownNames := sortedNames(known)
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // e.g. //agave:allowance — not ours
+					}
+					pos := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) == 0:
+						findings = append(findings, Finding{
+							Pos: pos, Analyzer: "allow",
+							Message: fmt.Sprintf("malformed directive: usage %s <analyzer> <reason>", allowPrefix),
+						})
+						continue
+					case !known[fields[0]]:
+						findings = append(findings, Finding{
+							Pos: pos, Analyzer: "allow",
+							Message: fmt.Sprintf("unknown analyzer %q in %s directive (known: %s)",
+								fields[0], allowPrefix, strings.Join(knownNames, ", ")),
+						})
+						continue
+					case len(fields) < 2:
+						findings = append(findings, Finding{
+							Pos: pos, Analyzer: "allow",
+							Message: fmt.Sprintf("%s %s needs a reason: say why this line may break the %s invariant",
+								allowPrefix, fields[0], fields[0]),
+						})
+						continue
+					}
+					standalone, err := standsAlone(lineCache, pos)
+					if err != nil {
+						return nil, nil, err
+					}
+					line := pos.Line
+					if standalone {
+						line++
+					}
+					allows[allowKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, findings, nil
+}
+
+// standsAlone reports whether the directive at pos is the only thing on its
+// source line (ignoring leading whitespace), which shifts its scope to the
+// next line.
+func standsAlone(cache map[string][]string, pos token.Position) (bool, error) {
+	lines, ok := cache[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			return false, fmt.Errorf("lint: reading %s for directive scoping: %w", pos.Filename, err)
+		}
+		lines = strings.Split(string(data), "\n")
+		cache[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) {
+		return false, nil
+	}
+	text := lines[pos.Line-1]
+	col := pos.Column - 1
+	if col > len(text) {
+		col = len(text)
+	}
+	return strings.TrimSpace(text[:col]) == "", nil
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

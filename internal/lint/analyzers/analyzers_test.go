@@ -1,0 +1,60 @@
+package analyzers_test
+
+import (
+	"strings"
+	"testing"
+
+	"agave/internal/lint/analysistest"
+	"agave/internal/lint/analyzers"
+)
+
+// Each analyzer runs over its fixture tree under testdata/src; the fixtures
+// pair at least one caught violation with at least one allow-suppressed
+// site, and the harness is strict in both directions.
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.Walltime, nil, "walltime", "walltime/mainexempt")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.Globalrand, nil, "globalrand")
+}
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.Maporder, nil, "maporder/report", "maporder")
+}
+
+func TestMutexorder(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.Mutexorder, nil, "mutexorder")
+}
+
+func TestDocref(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analyzers.Docref, nil, "docref")
+}
+
+// TestRegistry pins the registry shape other gates depend on: docscheck
+// holds docs/LINT.md headings to exactly these names, and //agave:allow
+// validates against them.
+func TestRegistry(t *testing.T) {
+	names := analyzers.Names()
+	want := []string{"walltime", "globalrand", "maporder", "mutexorder", "docref"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("registry = %v, want %v", names, want)
+	}
+	seen := make(map[string]bool)
+	for i, a := range analyzers.All() {
+		if a.Name != names[i] {
+			t.Errorf("All()[%d].Name = %q, Names()[%d] = %q", i, a.Name, i, names[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}

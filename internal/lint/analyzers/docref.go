@@ -1,0 +1,80 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"agave/internal/lint/analysis"
+)
+
+// Docref verifies that every markdown file a Go comment mentions ("see
+// docs/ARCHITECTURE.md") exists, resolved against the module root (the
+// nearest ancestor directory holding a go.mod) or the referencing file's own
+// directory. Godoc prose is where renamed design documents dangle the
+// longest. This check started life as cmd/docscheck invariant 3 and moved
+// here so all comment-to-markdown enforcement lives in the shared analysis
+// driver, suppressible and fixture-tested like every other invariant;
+// docscheck keeps the markdown-side gates (links, headings).
+var Docref = &analysis.Analyzer{
+	Name: "docref",
+	Doc:  "every markdown file referenced from a Go comment must exist at the module root or beside the file",
+	Run:  runDocref,
+}
+
+// docrefPattern matches a bare markdown-file reference inside prose, e.g.
+// "docs/ARCHITECTURE.md" or "ROADMAP.md".
+var docrefPattern = regexp.MustCompile(`\b[A-Za-z0-9][A-Za-z0-9_./-]*\.md\b`)
+
+func runDocref(pass *analysis.Pass) (any, error) {
+	rootCache := make(map[string]string)
+	for _, file := range pass.Files {
+		path := pass.Fset.Position(file.Pos()).Filename
+		dir := filepath.Dir(path)
+		root := moduleRoot(rootCache, dir)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "://") {
+					continue // a URL's path may end in .md without being ours
+				}
+				for _, ref := range docrefPattern.FindAllString(c.Text, -1) {
+					if fileExists(filepath.Join(dir, ref)) ||
+						(root != "" && fileExists(filepath.Join(root, ref))) {
+						continue
+					}
+					pass.Reportf(c.Pos(),
+						"comment references %q, which exists neither at the module root nor beside the file", ref)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// moduleRoot walks up from dir to the nearest directory holding a go.mod,
+// or "" when none exists (a bare fixture tree).
+func moduleRoot(cache map[string]string, dir string) string {
+	if root, ok := cache[dir]; ok {
+		return root
+	}
+	root := ""
+	for d := dir; ; {
+		if fileExists(filepath.Join(d, "go.mod")) {
+			root = d
+			break
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	cache[dir] = root
+	return root
+}

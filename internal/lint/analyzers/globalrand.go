@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"agave/internal/lint/analysis"
+)
+
+// Globalrand rejects the process-global math/rand source everywhere. The
+// global source is shared mutable state: two goroutines draw from it in
+// scheduler order, so a parallel suite run and a serial one see different
+// streams and the replay guarantee dies. All randomness must flow from a
+// seeded *rand.Rand handed down by the caller, the way
+// internal/scenario/gen.go threads its generator. Constructors (rand.New,
+// rand.NewSource, ...) are exactly how such a seeded stream is built, so
+// they stay legal.
+var Globalrand = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid the package-level math/rand source (rand.Intn, rand.Shuffle, ...); " +
+		"all randomness must flow from a seeded *rand.Rand parameter",
+	Run: runGlobalrand,
+}
+
+// globalrandAllowed are the math/rand top-level functions that construct
+// seeded streams rather than draw from the hidden global one.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runGlobalrand(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if globalrandAllowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global source, whose stream depends on goroutine scheduling; "+
+					"draw from a seeded *rand.Rand passed by the caller instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,308 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"agave/internal/lint/analysis"
+)
+
+// Maporder flags `for … range` over a map whose body has an effect that
+// observes iteration order: appending to a slice declared outside the loop
+// (unless the slice is sorted afterwards), sending on a channel,
+// accumulating into a float or string (non-associative across orders),
+// writing a field of a report/Result value, or calling into a report or
+// scenario package. Go randomizes map iteration per run, so any of these
+// turns a byte-identical replay into a coin flip — the bug class PR 5 fixed
+// by hand in internal/android/input.go, now rejected at lint time. The
+// blessed shape stays legal: collect the keys, sort them, then range the
+// sorted slice.
+var Maporder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body appends/sends/accumulates/reports in iteration order " +
+		"without a dominating sort of the keys",
+	Run: runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmts := statementList(n)
+			for i, stmt := range stmts {
+				rng, ok := unlabel(stmt).(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rng) {
+					continue
+				}
+				checkMapRange(pass, rng, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// statementList extracts the statement list a node owns, so a range loop can
+// be inspected alongside the statements that follow it (where a dominating
+// sort would live).
+func statementList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange reports every order-dependent effect in rng's body. rest is
+// the statement tail following the loop in its enclosing list; an append
+// whose target is sorted there is the blessed collect-then-sort idiom and
+// stays silent.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	mapName := types.ExprString(rng.X)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rng && isMapRange(pass, n) {
+				return false // the inner map range reports its own effects
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow,
+				"send on %s inside iteration over map %s delivers in map order; sort the keys first",
+				types.ExprString(n.Chan), mapName)
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n, rest, mapName)
+		case *ast.CallExpr:
+			if pkg, fn := calleePackage(pass, n); pkg != nil && pkg != pass.Pkg && isOrderSensitivePkg(pkg) {
+				pass.Reportf(n.Pos(),
+					"call to %s.%s inside iteration over map %s happens in map order; sort the keys first",
+					pkg.Name(), fn, mapName)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt, mapName string) {
+	// x = append(x, ...) into a slice that outlives the loop.
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		obj := targetObject(pass, as.Lhs[i])
+		if obj == nil || !declaredBefore(obj, rng) {
+			continue
+		}
+		if sortedAfter(pass, obj, rest) {
+			continue // collect-then-sort idiom
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s inside iteration over map %s accumulates in map order; sort %s afterwards or range sorted keys",
+			types.ExprString(as.Lhs[i]), mapName, obj.Name())
+	}
+	// Non-associative accumulation: float or string += across map order.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if _, isIndex := as.Lhs[0].(*ast.IndexExpr); !isIndex {
+			obj := targetObject(pass, as.Lhs[0])
+			if obj != nil && declaredBefore(obj, rng) {
+				if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+					switch {
+					case basic.Info()&types.IsFloat != 0 || basic.Info()&types.IsComplex != 0:
+						pass.Reportf(as.Pos(),
+							"float accumulation into %s inside iteration over map %s rounds in map order; sort the keys first",
+							obj.Name(), mapName)
+					case basic.Info()&types.IsString != 0:
+						pass.Reportf(as.Pos(),
+							"string concatenation into %s inside iteration over map %s builds in map order; sort the keys first",
+							obj.Name(), mapName)
+					}
+				}
+			}
+		}
+	}
+	// Writing a report/Result field in map order.
+	if as.Tok != token.DEFINE {
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			obj := targetObject(pass, sel.X)
+			if obj == nil || !declaredBefore(obj, rng) {
+				continue
+			}
+			if named := namedTypeOf(pass.TypesInfo.Types[sel.X].Type); named != nil && isReportType(pass, named) {
+				pass.Reportf(lhs.Pos(),
+					"write to %s field %s inside iteration over map %s lands in map order; sort the keys first",
+					named.Obj().Name(), sel.Sel.Name, mapName)
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// targetObject resolves the root object an lvalue chain (x, x.f, x[i].f, *x)
+// hangs off.
+func targetObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredBefore reports whether obj was declared before the range statement
+// — the effect escapes the loop body. Objects with no position (package
+// names, fields reached through pointers from parameters) count as outer.
+func declaredBefore(obj types.Object, rng *ast.RangeStmt) bool {
+	return !obj.Pos().IsValid() || obj.Pos() < rng.Pos()
+}
+
+// sortedAfter reports whether any statement after the loop calls into sort
+// or slices mentioning obj — the dominating sort that makes the collected
+// order canonical.
+func sortedAfter(pass *analysis.Pass, obj types.Object, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[base].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleePackage resolves the package a call lands in, for the rule that map
+// iteration must not call into report/scenario code (whose row and timeline
+// appends observe caller order).
+func calleePackage(pass *analysis.Pass, call *ast.CallExpr) (*types.Package, string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	return fn.Pkg(), fn.Name()
+}
+
+// isOrderSensitivePkg marks packages whose entry points record caller order:
+// the report writers and the scenario engine.
+func isOrderSensitivePkg(pkg *types.Package) bool {
+	path := pkg.Path()
+	for _, suffix := range []string{"report", "scenario"} {
+		if path == suffix || lastSegment(path) == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// isReportType marks named types whose fields are result/report payload:
+// anything declared in a report package, plus the engines' Result types.
+func isReportType(pass *analysis.Pass, named *types.Named) bool {
+	if named.Obj().Name() == "Result" {
+		return true
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg != pass.Pkg && isOrderSensitivePkg(pkg)
+}
+
+func namedTypeOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func lastSegment(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

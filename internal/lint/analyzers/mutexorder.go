@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"agave/internal/lint/analysis"
+)
+
+// Mutexorder enforces a whole-program partial order on mutex acquisition.
+// Each function body contributes "A held while acquiring B" edges, keyed by
+// lock class — the declaring type and field for struct locks
+// (kernel.Kernel.mu), the package-level variable for bare ones — and the
+// Finish pass condenses the merged graph: any strongly connected component
+// with more than one class is a potential deadlock, reported at every edge
+// inside it. The simulated stack is cooperatively scheduled and lock-free
+// today; this analyzer is the contract that keeps the fleet-executor and
+// worker-pool code that does lock (internal/suite, and whatever the
+// million-device sharding grows into) cycle-free as it lands.
+//
+// Limits, stated so nobody leans on them: acquisition is tracked linearly
+// through each body (branches are walked in source order), deferred unlocks
+// hold to function end, and two instances of one class are one node — an
+// instance-level ordering protocol within a class (locking processes in pid
+// order) needs an //agave:allow with its protocol named in the reason.
+var Mutexorder = &analysis.Analyzer{
+	Name:   "mutexorder",
+	Doc:    "build the cross-package mutex acquisition graph and reject lock-order cycles",
+	Run:    runMutexorder,
+	Finish: finishMutexorder,
+}
+
+// A lockEdge records one "From held while acquiring To" observation.
+type lockEdge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+func runMutexorder(pass *analysis.Pass) (any, error) {
+	var edges []lockEdge
+	var bodies []*ast.BlockStmt
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				bodies = append(bodies, fd.Body)
+			}
+		}
+	}
+	for len(bodies) > 0 {
+		body := bodies[0]
+		bodies = bodies[1:]
+		var held []string
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body) // separate acquisition context
+				return false
+			case *ast.DeferStmt:
+				return false // a deferred unlock releases at return, not here
+			case *ast.CallExpr:
+				op, name := mutexCall(pass, n)
+				switch op {
+				case lockOp:
+					for _, h := range held {
+						if h != name {
+							edges = append(edges, lockEdge{From: h, To: name, Pos: n.Pos()})
+						}
+					}
+					held = append(held, name)
+				case unlockOp:
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == name {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return edges, nil
+}
+
+type mutexOp int
+
+const (
+	notMutex mutexOp = iota
+	lockOp
+	unlockOp
+)
+
+// mutexCall classifies a call as a lock/unlock on a nameable mutex class.
+func mutexCall(pass *analysis.Pass, call *ast.CallExpr) (mutexOp, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return notMutex, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return notMutex, ""
+	}
+	var op mutexOp
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = lockOp
+	case "Unlock", "RUnlock":
+		op = unlockOp
+	default:
+		return notMutex, ""
+	}
+	name := lockClass(pass, sel.X)
+	if name == "" {
+		return notMutex, ""
+	}
+	return op, name
+}
+
+// lockClass names the mutex a receiver expression denotes. Struct-held locks
+// are classed by declaring type and field ("kernel.Kernel.mu"); package-level
+// variables by package and name; locals of a named type by that type (an
+// embedded mutex promoted through a local). Unnameable receivers return "".
+func lockClass(pass *analysis.Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return lockClass(pass, e.X)
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return lastSegment(v.Pkg().Path()) + "." + v.Name()
+		}
+		return namedClass(v.Type())
+	case *ast.SelectorExpr:
+		if named := namedTypeOf(exprType(pass, e.X)); named != nil && named.Obj().Pkg() != nil {
+			return lastSegment(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// namedClass names a local's type when that type is a lock-carrying struct
+// from this codebase; bare sync.Mutex locals have no cross-function identity.
+func namedClass(t types.Type) string {
+	named := namedTypeOf(t)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() == "sync" {
+		return ""
+	}
+	return lastSegment(named.Obj().Pkg().Path()) + "." + named.Obj().Name()
+}
+
+func exprType(pass *analysis.Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// finishMutexorder merges every package's edges and reports each edge that
+// sits inside a multi-node strongly connected component of the acquisition
+// graph.
+func finishMutexorder(sum *analysis.Summary) error {
+	type key struct{ from, to string }
+	first := make(map[key]token.Pos)
+	var keys []key
+	for _, res := range sum.Results {
+		edges, _ := res.Value.([]lockEdge)
+		for _, e := range edges {
+			k := key{e.From, e.To}
+			if prev, ok := first[k]; !ok || positionLess(sum.Fset, e.Pos, prev) {
+				if !ok {
+					keys = append(keys, k)
+				}
+				first[k] = e.Pos
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+
+	adj := make(map[string][]string)
+	for _, k := range keys {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	comp := stronglyConnected(adj)
+	for _, k := range keys {
+		// Same component iff the sorted member lists share a representative:
+		// SCCs partition the nodes, so first elements collide only within one.
+		cf, ct := comp[k.from], comp[k.to]
+		if len(cf) < 2 || len(ct) == 0 || cf[0] != ct[0] {
+			continue
+		}
+		cycle := append(append([]string{}, cf...), cf[0])
+		sum.Reportf(first[k],
+			"acquiring %s while holding %s creates a lock-order cycle (%s)",
+			k.to, k.from, joinArrows(cycle))
+	}
+	return nil
+}
+
+func positionLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// stronglyConnected returns, for every node, the sorted member list of its
+// strongly connected component (Tarjan, iterative over sorted nodes so the
+// result is deterministic).
+func stronglyConnected(adj map[string][]string) map[string][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	comp := make(map[string][]string)
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(members)
+			for _, m := range members {
+				comp[m] = members
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return comp
+}
+
+func joinArrows(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " -> "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package docref exercises the docref analyzer. A comment naming a markdown
+// file that exists neither at the module root nor beside this file is a
+// diagnostic reported at the comment itself, so the want expectations here
+// ride inside the offending comments. The patterns stop before the ".md"
+// suffix on purpose: writing the full name in a pattern would itself be a
+// markdown reference for the analyzer to chase.
+package docref
+
+// resolvesBeside follows the plan in NOTES.md, which lives next to this file.
+func resolvesBeside() {}
+
+// dangling cites docs/NEVER_WRITTEN.md, renamed away long ago. want `comment references "docs/NEVER_WRITTEN`
+func dangling() {}
+
+// urlExempt links https://example.com/REMOTE.md, which is not ours to check.
+func urlExempt() {}
+
+// A directive suppresses a dangling reference only when it sits directly
+// above the citing line, because that line is where the diagnostic lands.
+// The citing group below stays detached from the declaration: inside a doc
+// comment the formatter would float the directive to the group's end.
+
+//agave:allow docref fixture: document intentionally ships in a later PR
+// This note cites PLANNED.md, shipping in a later PR.
+
+func forthcoming() {}

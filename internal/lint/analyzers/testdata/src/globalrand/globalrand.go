@@ -1,0 +1,27 @@
+// Package globalrand exercises the globalrand analyzer: draws from the
+// process-global math/rand source are diagnostics; seeded streams built via
+// the constructors, and draws from them, are the blessed idiom.
+package globalrand
+
+import "math/rand"
+
+func global() int {
+	n := rand.Intn(10)                 // want `rand.Intn draws from the process-global source`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle draws from the process-global source`
+	return n
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `rand.Float64 draws from the process-global source`
+}
+
+// seeded is the idiom internal/scenario/gen.go uses: a stream the caller
+// seeds, so every replay draws the same numbers.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // a method on *rand.Rand, not the global source
+}
+
+func allowed() int {
+	return rand.Int() //agave:allow globalrand fixture: one-off tool, not replayed
+}

@@ -1,0 +1,112 @@
+// Package maporder exercises the maporder analyzer: map-iteration bodies
+// with order-dependent effects are diagnostics unless a dominating sort
+// canonicalizes the collected keys.
+package maporder
+
+import (
+	"sort"
+
+	"maporder/report"
+)
+
+// badAppend collects map keys with no sort anywhere after the loop.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside iteration over map m accumulates in map order`
+	}
+	return out
+}
+
+// goodCollectThenSort is the blessed idiom: the append is unordered, the
+// sort right after the loop makes the result canonical.
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice canonicalizes with sort.Slice instead; mentioning the slice
+// anywhere in the sort call is enough.
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// goodLocalScratch appends to a slice born inside the loop body: nothing
+// order-dependent escapes an iteration.
+func goodLocalScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		total += len(scratch)
+	}
+	return total
+}
+
+// badSend delivers map keys on a channel in iteration order.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `send on ch inside iteration over map m delivers in map order`
+	}
+}
+
+// badFloat accumulates floats across map order: same set, different
+// rounding, different bytes.
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside iteration over map m rounds in map order`
+	}
+	return sum
+}
+
+// goodInt accumulation is associative and commutative; order cannot show.
+func goodInt(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// badReportCall emits rows in map order.
+func badReportCall(m map[string]int) {
+	for k, v := range m {
+		report.Emit(report.Row{Name: k, Count: v}) // want `call to report.Emit inside iteration over map m happens in map order`
+	}
+}
+
+// badFieldWrite lands writes on a report row in map order (last writer wins
+// nondeterministically).
+func badFieldWrite(m map[string]int, row *report.Row) {
+	for k := range m {
+		row.Name = k // want `write to Row field Name inside iteration over map m lands in map order`
+	}
+}
+
+// goodMapBuild writes another map: keyed, order-free.
+func goodMapBuild(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// allowedAppend documents why this particular order leak is acceptable.
+func allowedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //agave:allow maporder fixture: consumer sorts before use
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Package report is a stand-in for an order-sensitive reporting package:
+// maporder flags calls into it, and writes to its row types, from inside map
+// iteration.
+package report
+
+// A Row is one emitted record; emission order is output order.
+type Row struct {
+	Name  string
+	Count int
+}
+
+// Emit appends the row to the report in call order.
+func Emit(r Row) {}

@@ -1,0 +1,85 @@
+// Package mutexorder exercises the mutexorder analyzer: two code paths that
+// acquire the same pair of lock classes in opposite orders form a cycle in
+// the whole-program acquisition graph, and every edge of the cycle is
+// reported.
+package mutexorder
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func aThenB() {
+	muA.Lock()
+	muB.Lock() // want `acquiring mutexorder.muB while holding mutexorder.muA creates a lock-order cycle`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func bThenA() {
+	muB.Lock()
+	muA.Lock() // want `acquiring mutexorder.muA while holding mutexorder.muB creates a lock-order cycle`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Struct-held locks are classed by declaring type and field, so instances
+// share ordering constraints.
+type Table struct{ mu sync.Mutex }
+
+type Journal struct{ mu sync.RWMutex }
+
+func tableThenJournal(t *Table, j *Journal) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j.mu.RLock() // want `acquiring mutexorder.Journal.mu while holding mutexorder.Table.mu creates a lock-order cycle`
+	j.mu.RUnlock()
+}
+
+func journalThenTable(t *Table, j *Journal) {
+	j.mu.Lock()
+	t.mu.Lock() // want `acquiring mutexorder.Table.mu while holding mutexorder.Journal.mu creates a lock-order cycle`
+	t.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// Consistent ordering is silent: both functions take muC before muD.
+var muC, muD sync.Mutex
+
+func cThenD() {
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func cThenDAgain() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+// Releasing before the next acquisition contributes no edge at all.
+func sequential() {
+	muD.Lock()
+	muD.Unlock()
+	muC.Lock()
+	muC.Unlock()
+}
+
+// A documented, deliberate inversion is suppressible at both edge sites.
+var muE, muF sync.Mutex
+
+func eThenF() {
+	muE.Lock()
+	muF.Lock() //agave:allow mutexorder fixture: shutdown path, muE side is startup-only
+	muF.Unlock()
+	muE.Unlock()
+}
+
+func fThenE() {
+	muF.Lock()
+	muE.Lock() //agave:allow mutexorder fixture: startup path, runs before any shutdown
+	muE.Unlock()
+	muF.Unlock()
+}

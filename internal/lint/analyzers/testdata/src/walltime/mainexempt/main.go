@@ -1,0 +1,14 @@
+// Command mainexempt shows the walltime exemption: main packages are the
+// display paths, where host time is legitimate — no diagnostics here.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(os.Getenv("HOME"), time.Since(start))
+}

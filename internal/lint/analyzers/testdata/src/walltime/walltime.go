@@ -1,0 +1,49 @@
+// Package walltime exercises the walltime analyzer: wall-clock and
+// host-environment reads in a library package are diagnostics; directive-
+// annotated sites and pure time constructors are not.
+package walltime
+
+import (
+	"os"
+	"time"
+)
+
+func clocks() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks on the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func env() string {
+	return os.Getenv("AGAVE_SEED") // want `os.Getenv reads the host environment`
+}
+
+// valueUse shows that referencing the function without calling it is still a
+// use of the wall clock.
+func valueUse() func() time.Time {
+	return time.Now // want `time.Now reads the wall clock`
+}
+
+// pure constructors of fixed values are deterministic and stay legal.
+func pure() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+// allowedInline carries a directive at the site, so the read is suppressed.
+func allowedInline() time.Time {
+	return time.Now() //agave:allow walltime fixture: display-only timing
+}
+
+// allowedAbove carries a standalone directive on the preceding line.
+func allowedAbove() string {
+	//agave:allow walltime fixture: host config read outside the replay path
+	return os.Getenv("HOME")
+}
+
+// unrelatedDirective sits two lines above the violation: too far, so the
+// diagnostic still fires — the directive's scope is one line.
+func unrelatedDirective() time.Time {
+	//agave:allow walltime fixture: this directive is out of range
+
+	return time.Now() // want `time.Now reads the wall clock`
+}

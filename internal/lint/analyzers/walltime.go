@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"agave/internal/lint/analysis"
+)
+
+// Walltime rejects wall-clock and host-environment reads in library code.
+// Every Agave result must replay byte-identically — serial ≡ parallel-N —
+// which a single time.Now or os.Getenv silently breaks the moment its value
+// reaches a Result. Simulated code takes time from the sim clock and
+// configuration from parameters; only main packages (the cmd/ and examples/
+// display paths) may touch the host, and the one legitimate library read
+// (per-spec wall timing in internal/suite, never serialized) carries an
+// //agave:allow directive at its site.
+var Walltime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock (time.Now/Since/Sleep/...) and host-environment (os.Getenv) reads " +
+		"outside main packages; simulation time comes from the sim clock",
+	Run: runWalltime,
+}
+
+// walltimeFuncs maps package path to the forbidden top-level functions. The
+// set is the impure ones: constructors of fixed values (time.Unix,
+// time.Date) and pure types (time.Duration) are deterministic and fine.
+var walltimeFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Sleep":     "blocks on the wall clock",
+		"Tick":      "ticks on the wall clock",
+		"After":     "fires on the wall clock",
+		"AfterFunc": "fires on the wall clock",
+		"NewTicker": "ticks on the wall clock",
+		"NewTimer":  "fires on the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the host environment",
+		"LookupEnv": "reads the host environment",
+		"Environ":   "reads the host environment",
+	},
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // cmd/ and examples/ are display paths; host time is theirs
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			if why, bad := walltimeFuncs[fn.Pkg().Path()][fn.Name()]; bad {
+				pass.Reportf(sel.Pos(),
+					"%s.%s %s, which breaks replay determinism; derive time from the sim clock or move this to a main package",
+					fn.Pkg().Name(), fn.Name(), why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,113 @@
+// Package lint is the agavelint driver: it applies a set of analyzers to a
+// set of loaded packages, validates and honors //agave:allow suppression
+// directives, and returns findings in a deterministic order. A linter whose
+// whole purpose is replay determinism must itself be deterministic, so
+// findings are sorted by position, analyzer, and message — two runs over the
+// same tree produce byte-identical output. The analyzers themselves live in
+// internal/lint/analyzers; docs/LINT.md is the user-facing reference.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"agave/internal/lint/analysis"
+	"agave/internal/lint/load"
+)
+
+// A Finding is one diagnostic after suppression, in position space.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding the way vet does: file:line:col: message (name).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings. known is the full set of analyzer names //agave:allow may cite —
+// pass it when running a subset of the registry so directives for analyzers
+// not in this run still validate; nil means "exactly the analyzers given".
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer, known []string) ([]Finding, error) {
+	if known == nil {
+		for _, a := range analyzers {
+			known = append(known, a.Name)
+		}
+	}
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+
+	type raw struct {
+		pos      token.Pos
+		analyzer string
+		message  string
+	}
+	var diags []raw
+	for _, a := range analyzers {
+		report := func(name string) func(analysis.Diagnostic) {
+			return func(d analysis.Diagnostic) {
+				diags = append(diags, raw{pos: d.Pos, analyzer: name, message: d.Message})
+			}
+		}
+		var results []analysis.PackageResult
+		for _, pkg := range pkgs {
+			if a.Run == nil {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Report:    report(a.Name),
+			}
+			value, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			results = append(results, analysis.PackageResult{Pkg: pkg.Pkg, Value: value})
+		}
+		if a.Finish != nil {
+			sum := &analysis.Summary{Fset: fset, Results: results, Report: report(a.Name)}
+			if err := a.Finish(sum); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		}
+	}
+
+	allows, findings, err := collectAllows(fset, pkgs, knownSet)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.pos)
+		if allows[allowKey{file: pos.Filename, line: pos.Line, analyzer: d.analyzer}] {
+			continue
+		}
+		findings = append(findings, Finding{Pos: pos, Analyzer: d.analyzer, Message: d.message})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

@@ -1,0 +1,179 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agave/internal/lint"
+	"agave/internal/lint/analysis"
+	"agave/internal/lint/load"
+)
+
+// runOn loads a single synthetic package and runs the given analyzers over
+// it with the given known-name set.
+func runOn(t *testing.T, src string, analyzers []*analysis.Analyzer, known []string) []lint.Finding {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "fix")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	loader := load.New(load.Config{Fset: fset, FixtureRoot: root})
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, err := lint.Run(fset, []*load.Package{pkg}, analyzers, known)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return findings
+}
+
+// tattle reports a diagnostic on every line containing the word MARK, so
+// directive-scoping tests can place findings precisely.
+var tattle = &analysis.Analyzer{
+	Name: "tattle",
+	Doc:  "test analyzer: flags every MARK comment",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, file := range pass.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "MARK") {
+						pass.Reportf(c.Pos(), "marked line")
+					}
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func messages(fs []lint.Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Analyzer + ": " + f.Message
+	}
+	return out
+}
+
+// TestAllowUnknownAnalyzerIsError: a directive citing a name outside the
+// known set is itself a finding, and it names the known set.
+func TestAllowUnknownAnalyzerIsError(t *testing.T) {
+	src := `package fix
+
+//agave:allow nosuchanalyzer because reasons
+func f() {}
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, []string{"tattle", "walltime"})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly one", messages(findings))
+	}
+	f := findings[0]
+	if f.Analyzer != "allow" || !strings.Contains(f.Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("finding = %+v, want unknown-analyzer error", f)
+	}
+	if !strings.Contains(f.Message, "tattle, walltime") {
+		t.Errorf("message should list the known analyzers sorted: %s", f.Message)
+	}
+}
+
+// TestAllowMissingReasonIsError: the reason is mandatory.
+func TestAllowMissingReasonIsError(t *testing.T) {
+	src := `package fix
+
+//agave:allow tattle
+func f() {} // MARK
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, nil)
+	var reasonErr, marked bool
+	for _, f := range findings {
+		if f.Analyzer == "allow" && strings.Contains(f.Message, "needs a reason") {
+			reasonErr = true
+		}
+		if f.Analyzer == "tattle" {
+			marked = true
+		}
+	}
+	if !reasonErr {
+		t.Errorf("missing-reason directive not flagged: %v", messages(findings))
+	}
+	if !marked {
+		t.Errorf("a reasonless directive must not suppress; findings: %v", messages(findings))
+	}
+}
+
+// TestAllowBareDirectiveIsError: no analyzer name at all.
+func TestAllowBareDirectiveIsError(t *testing.T) {
+	src := `package fix
+
+//agave:allow
+func f() {}
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, nil)
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "malformed directive") {
+		t.Errorf("findings = %v, want one malformed-directive error", messages(findings))
+	}
+}
+
+// TestAllowScope: an inline directive suppresses its own line, a standalone
+// one the next line, and a directive anywhere else suppresses nothing.
+func TestAllowScope(t *testing.T) {
+	// A line holds only one // comment, so the inline case puts the MARK
+	// trigger inside the directive's reason: tattle flags that very line,
+	// and the directive suppresses it there.
+	src := `package fix
+
+func inline() {} //agave:allow tattle MARK suppressed inline
+
+//agave:allow tattle suppressed from the line above
+func nextLine() {} // MARK
+
+//agave:allow tattle too far away to matter
+
+func unrelated() {} // MARK
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, nil)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the out-of-range MARK", messages(findings))
+	}
+	if findings[0].Pos.Line != 10 {
+		t.Errorf("surviving finding at line %d, want 10 (the unrelated MARK)", findings[0].Pos.Line)
+	}
+}
+
+// TestAllowWrongAnalyzerDoesNotSuppress: a valid directive for analyzer X
+// leaves analyzer Y's finding on the same line alone.
+func TestAllowWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	src := `package fix
+
+func f() {} //agave:allow other MARK names the analyzer that did not fire
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, []string{"tattle", "other"})
+	if len(findings) != 1 || findings[0].Analyzer != "tattle" {
+		t.Fatalf("findings = %v, want tattle's finding to survive", messages(findings))
+	}
+}
+
+// TestFindingsAreSorted: the driver's output order is positional and stable.
+func TestFindingsAreSorted(t *testing.T) {
+	src := `package fix
+
+func b() {} // MARK
+func a() {} // MARK
+`
+	findings := runOn(t, src, []*analysis.Analyzer{tattle}, nil)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want two", messages(findings))
+	}
+	if findings[0].Pos.Line >= findings[1].Pos.Line {
+		t.Errorf("findings out of order: %+v", findings)
+	}
+}

@@ -1,0 +1,271 @@
+// Package load parses and type-checks Go packages for agavelint using only
+// the standard library. Module packages (import paths under the module path)
+// are loaded from source in the module directory; analysistest fixture
+// packages resolve GOPATH-style under a fixture root; everything else —
+// the standard library — is type-checked from $GOROOT/src by the "source"
+// compiler importer, which needs no network, no module cache, and no
+// pre-built export data. That self-sufficiency is the point: the container
+// that builds this repository has no golang.org/x/tools, so the loader is
+// what lets the analyzer suite exist at all.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path the package was resolved under.
+	Path string
+	// Dir is the directory its files were read from.
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Config says where import paths live on disk.
+type Config struct {
+	// Fset receives all parsed positions; one FileSet must span every
+	// package of a run so diagnostics are comparable.
+	Fset *token.FileSet
+
+	// ModulePath/ModuleDir map the module's import-path prefix to its
+	// root directory (e.g. "agave" -> the repo checkout).
+	ModulePath string
+	ModuleDir  string
+
+	// FixtureRoot, if set, resolves any import path whose directory
+	// exists beneath it — the GOPATH-src layout analysistest trees use.
+	// It is consulted before the standard library, so a fixture may shadow
+	// nothing but its own tree.
+	FixtureRoot string
+}
+
+// A Loader caches type-checked packages across imports.
+type Loader struct {
+	cfg     Config
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+}
+
+// New returns a Loader for cfg. cfg.Fset must be non-nil.
+func New(cfg Config) *Loader {
+	return &Loader{
+		cfg:     cfg,
+		std:     importer.ForCompiler(cfg.Fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer so a Loader can resolve the imports of
+// the packages it loads.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, importPath, ok := l.resolve(path); ok {
+		pkg, err := l.load(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// resolve maps an import path onto a source directory, or reports that the
+// path belongs to the standard library.
+func (l *Loader) resolve(path string) (dir, importPath string, ok bool) {
+	if l.cfg.ModulePath != "" {
+		if path == l.cfg.ModulePath {
+			return l.cfg.ModuleDir, path, true
+		}
+		if rest, found := strings.CutPrefix(path, l.cfg.ModulePath+"/"); found {
+			return filepath.Join(l.cfg.ModuleDir, filepath.FromSlash(rest)), path, true
+		}
+	}
+	if l.cfg.FixtureRoot != "" {
+		dir := filepath.Join(l.cfg.FixtureRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, path, true
+		}
+	}
+	return "", "", false
+}
+
+// LoadDir loads the package in dir. The import path is derived from the
+// configured roots; a directory outside both roots is an error.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	importPath, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(dir, importPath)
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for _, root := range []struct{ dir, prefix string }{
+		{l.cfg.ModuleDir, l.cfg.ModulePath},
+		{l.cfg.FixtureRoot, ""},
+	} {
+		if root.dir == "" {
+			continue
+		}
+		rootAbs, err := filepath.Abs(root.dir)
+		if err != nil {
+			return "", err
+		}
+		rel, err := filepath.Rel(rootAbs, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		path := filepath.ToSlash(rel)
+		switch {
+		case path == "." && root.prefix != "":
+			return root.prefix, nil
+		case root.prefix != "":
+			return root.prefix + "/" + path, nil
+		case path != ".":
+			return path, nil
+		}
+	}
+	return "", fmt.Errorf("load: %s is under neither the module nor the fixture root", dir)
+}
+
+// LoadModule walks the module directory and loads every package found,
+// skipping testdata, hidden, and VCS directories. Packages come back sorted
+// by import path so every run analyzes them in the same order.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.cfg.ModuleDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == ".git" || name == ".claude" ||
+				(strings.HasPrefix(name, ".") && path != l.cfg.ModuleDir) {
+				return filepath.SkipDir
+			}
+			if ok, err := hasGoSource(path); err != nil {
+				return err
+			} else if ok {
+				dirs = append(dirs, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoSource(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isSourceFile reports whether name is a non-test Go source file the loader
+// considers. Test files are out of scope: the invariants guard simulation
+// code, and tests legitimately use wall clocks and ad-hoc ordering.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// load parses and type-checks one directory, memoized by import path.
+func (l *Loader) load(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("load: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.cfg.Fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go source in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(importPath, l.cfg.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, len(typeErrs))
+		for i, e := range typeErrs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("load: type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
