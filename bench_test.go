@@ -263,6 +263,36 @@ func BenchmarkScenarioGenerated(b *testing.B) {
 	b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6, "Mticks/s")
 }
 
+// BenchmarkScenarioDense is the hot-path stress gate: a 50-app generated
+// session at 10x the default event density with memory pressure and input
+// gestures on — every pooled structure (looper messages, input events,
+// binder transactions, batched stats flushes) cycling at full rate. It
+// exists so per-tick costs that hide in the 10-app session surface in CI,
+// and it runs once under -race in the test job to shake out pool-reuse
+// races.
+func BenchmarkScenarioDense(b *testing.B) {
+	sc := scenario.Generate(scenario.GenConfig{
+		Seed:     1,
+		Apps:     50,
+		Events:   2000, // 10x the 4-per-app default
+		Pressure: 2,
+		Inputs:   200,
+	})
+	var ticks float64
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunScenarioDef(sc, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks += float64(r.Duration)
+		b.ReportMetric(float64(r.Session.MaxLive), "max_live")
+		b.ReportMetric(float64(r.Session.InputEvents), "input_events")
+		b.ReportMetric(float64(r.Processes), "processes")
+		b.ReportMetric(float64(r.Stats.Total()), "total_refs")
+	}
+	b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6, "Mticks/s")
+}
+
 // BenchmarkInterpDispatch isolates the Dalvik interpreter's per-bytecode
 // dispatch loop from the rest of the stack: one thread executes sumLoop on a
 // bare kernel, in pure interpretation (JIT disabled) and in fully compiled

@@ -1,10 +1,10 @@
 // Command benchdiff is the benchmark-regression gate of the CI pipeline.
 // It parses `go test -bench` text output into a stable JSON document and
 // compares it against a committed baseline, failing when any benchmark's
-// ns/op regresses beyond a threshold. Every invocation itemizes the run one
-// line per benchmark — deltas (ns/op gating, B/op and allocs/op informational)
-// when a baseline is given, raw values otherwise — so reading a
-// BENCH_<sha>.json trend never requires diffing JSON by hand.
+// ns/op or allocs/op regresses beyond its threshold. Every invocation
+// itemizes the run one line per benchmark — deltas (ns/op and allocs/op
+// gating, B/op informational) when a baseline is given, raw values otherwise
+// — so reading a BENCH_<sha>.json trend never requires diffing JSON by hand.
 //
 // Usage:
 //
@@ -13,14 +13,22 @@
 //
 // Flags:
 //
-//	-in FILE         read bench output from FILE instead of stdin
-//	-write FILE      write the parsed run as a JSON snapshot
-//	-baseline FILE   compare ns/op against this JSON snapshot
-//	-threshold 0.25  allowed fractional ns/op growth before failing
+//	-in FILE              read bench output from FILE instead of stdin
+//	-write FILE           write the parsed run as a JSON snapshot
+//	-baseline FILE        compare against this JSON snapshot
+//	-threshold 0.25       allowed fractional ns/op growth before failing
+//	-allocthreshold 0.25  allowed fractional allocs/op growth before failing
 //
-// Exit status: 0 ok, 1 regression past the threshold (or baseline unreadable,
-// or a baseline entry has a non-positive ns/op and is incomparable),
-// 2 usage/parse error.
+// The allocs/op gate only applies where allocations were measured: a
+// benchmark with zero allocs/op on both sides (no -benchmem, or genuinely
+// allocation-free on both sides) is not gated, while a positive current
+// value against a zero baseline is flagged incomparable exactly like a
+// non-positive baseline ns/op — a gained allocation against a clean baseline
+// must never pass silently.
+//
+// Exit status: 0 ok, 1 regression past a threshold (or baseline unreadable,
+// or a baseline entry has a non-positive ns/op — or allocs/op where the run
+// measured some — and is incomparable), 2 usage/parse error.
 //
 // Benchmarks present only in the run (new) or only in the baseline
 // (removed/renamed) are reported but never fail the gate — the baseline is
@@ -150,16 +158,24 @@ type Delta struct {
 	// growth ratio against it would be NaN/Inf, so the entry is reported
 	// as broken instead of silently passing the gate.
 	Incomparable bool
-	// Memory movement rides along for trend reading; only ns/op gates.
+	// Allocation movement gates like ns/op; byte movement is informational.
 	BaseBytes, CurBytes   float64
 	BaseAllocs, CurAllocs float64
+	AllocsGrowth          float64
+	AllocsRegressed       bool
+	// AllocsIncomparable marks a run that measured allocations against a
+	// baseline entry with none: no finite ratio exists, and a gained
+	// allocation profile must not pass silently.
+	AllocsIncomparable bool
 }
 
 // compare evaluates cur against base: every shared benchmark whose ns/op
-// grew beyond threshold is a regression. Shared benchmarks whose baseline
-// ns/op is zero (a corrupt or hand-edited snapshot) are flagged
-// incomparable rather than given a free pass.
-func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, baseOnly []string) {
+// grew beyond threshold, or whose allocs/op grew beyond allocThreshold, is a
+// regression. Shared benchmarks whose baseline ns/op is zero (a corrupt or
+// hand-edited snapshot) are flagged incomparable rather than given a free
+// pass; a zero allocs/op baseline is incomparable only when the current run
+// measured allocations (both-zero means nothing to gate).
+func compare(base, cur *Snapshot, threshold, allocThreshold float64) (deltas []Delta, newOnly, baseOnly []string) {
 	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
@@ -183,6 +199,13 @@ func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, b
 		} else {
 			d.Incomparable = true
 		}
+		switch {
+		case b.AllocsOp > 0:
+			d.AllocsGrowth = (c.AllocsOp - b.AllocsOp) / b.AllocsOp
+			d.AllocsRegressed = d.AllocsGrowth > allocThreshold
+		case c.AllocsOp > 0:
+			d.AllocsIncomparable = true
+		}
 		deltas = append(deltas, d)
 	}
 	for _, b := range base.Benchmarks {
@@ -196,8 +219,9 @@ func compare(base, cur *Snapshot, threshold float64) (deltas []Delta, newOnly, b
 }
 
 // memDelta renders a benchmark's memory movement as a line suffix, or ""
-// when neither side recorded memory (the run lacked -benchmem). Memory is
-// informational: it never gates, so it carries no ok/REGRESSED status.
+// when neither side recorded memory (the run lacked -benchmem). The suffix
+// itself is informational — the allocs/op gate reports through the line's
+// status column, and B/op never gates.
 func memDelta(d Delta) string {
 	var parts []string
 	if d.BaseBytes != 0 || d.CurBytes != 0 {
@@ -235,6 +259,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	write := fs.String("write", "", "write the parsed run to this JSON file")
 	baseline := fs.String("baseline", "", "compare against this JSON snapshot")
 	threshold := fs.Float64("threshold", 0.25, "allowed fractional ns/op growth")
+	allocThreshold := fs.Float64("allocthreshold", 0.25, "allowed fractional allocs/op growth")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -292,8 +317,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baseline, err)
 		return 1
 	}
-	deltas, newOnly, baseOnly := compare(&base, cur, *threshold)
-	failed, incomparable := 0, 0
+	deltas, newOnly, baseOnly := compare(&base, cur, *threshold, *allocThreshold)
+	failed, allocFailed, incomparable := 0, 0, 0
 	for _, d := range deltas {
 		if d.Incomparable {
 			incomparable++
@@ -301,10 +326,24 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 				d.Name, d.Base, d.Cur)
 			continue
 		}
-		status := "ok"
+		if d.AllocsIncomparable {
+			incomparable++
+			fmt.Fprintf(stdout, "%-40s %14.0f -> %14.0f allocs/op  INCOMPARABLE (baseline allocs/op not positive)\n",
+				d.Name, d.BaseAllocs, d.CurAllocs)
+			continue
+		}
+		var bad []string
 		if d.Regressed {
-			status = "REGRESSED"
+			bad = append(bad, "REGRESSED")
 			failed++
+		}
+		if d.AllocsRegressed {
+			bad = append(bad, "ALLOCS-REGRESSED")
+			allocFailed++
+		}
+		status := "ok"
+		if len(bad) > 0 {
+			status = strings.Join(bad, "+")
 		}
 		fmt.Fprintf(stdout, "%-40s %14.0f -> %14.0f ns/op  %+7.1f%%  %s%s\n",
 			d.Name, d.Base, d.Cur, d.Growth*100, status, memDelta(d))
@@ -320,10 +359,15 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			failed, *threshold*100, *baseline)
 		return 1
 	}
+	if allocFailed > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) grew allocs/op more than %.0f%% vs %s\n",
+			allocFailed, *allocThreshold*100, *baseline)
+		return 1
+	}
 	if incomparable > 0 {
 		// A broken baseline entry must not pass silently: refresh the
 		// baseline snapshot rather than trusting a meaningless ratio.
-		fmt.Fprintf(stderr, "benchdiff: %d baseline entr(ies) in %s have non-positive ns/op and cannot gate anything\n",
+		fmt.Fprintf(stderr, "benchdiff: %d baseline entr(ies) in %s have non-positive ns/op (or allocs/op) and cannot gate anything\n",
 			incomparable, *baseline)
 		return 1
 	}

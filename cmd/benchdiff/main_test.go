@@ -78,7 +78,7 @@ func TestCompareFlagsOnlyRegressions(t *testing.T) {
 		{Name: "C", NsPerOp: 700},  // improvement
 		{Name: "New", NsPerOp: 50},
 	}}
-	deltas, newOnly, baseOnly := compare(base, cur, 0.25)
+	deltas, newOnly, baseOnly := compare(base, cur, 0.25, 0.25)
 	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas, want 3", len(deltas))
 	}
@@ -115,7 +115,7 @@ func TestCompareZeroBaselineIsIncomparable(t *testing.T) {
 		{Name: "Broken", NsPerOp: 5e9}, // a huge "regression" vs nothing
 		{Name: "Fine", NsPerOp: 1000},
 	}}
-	deltas, _, _ := compare(base, cur, 0.25)
+	deltas, _, _ := compare(base, cur, 0.25, 0.25)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2", len(deltas))
 	}
@@ -293,5 +293,68 @@ func TestMainUsageErrors(t *testing.T) {
 	}
 	if code, _, _ := invoke(t, sampleOutput, "-baseline", "/no/such/file.json"); code != 1 {
 		t.Fatal("missing baseline not a comparison failure")
+	}
+}
+
+// TestCompareAllocGate: allocs/op gates with its own threshold; a zero
+// allocs/op baseline is incomparable only when the run measured allocations.
+func TestCompareAllocGate(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "Grew", NsPerOp: 1000, AllocsOp: 1000},
+		{Name: "Held", NsPerOp: 1000, AllocsOp: 1000},
+		{Name: "Gained", NsPerOp: 1000, AllocsOp: 0},
+		{Name: "Memless", NsPerOp: 1000, AllocsOp: 0},
+	}}
+	cur := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "Grew", NsPerOp: 1000, AllocsOp: 1300}, // +30%: regression
+		{Name: "Held", NsPerOp: 1000, AllocsOp: 1240}, // +24%: inside the gate
+		{Name: "Gained", NsPerOp: 1000, AllocsOp: 50}, // allocs vs none: incomparable
+		{Name: "Memless", NsPerOp: 1000, AllocsOp: 0}, // never measured: not gated
+	}}
+	deltas, _, _ := compare(base, cur, 0.25, 0.25)
+	byName := make(map[string]Delta)
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["Grew"]; !d.AllocsRegressed || d.Regressed {
+		t.Fatalf("Grew misjudged: %+v", d)
+	}
+	if d := byName["Held"]; d.AllocsRegressed || d.AllocsIncomparable {
+		t.Fatalf("Held misjudged: %+v", d)
+	}
+	if d := byName["Gained"]; !d.AllocsIncomparable || d.AllocsRegressed {
+		t.Fatalf("Gained misjudged: %+v", d)
+	}
+	if d := byName["Memless"]; d.AllocsIncomparable || d.AllocsRegressed {
+		t.Fatalf("Memless misjudged: %+v", d)
+	}
+	// A looser alloc threshold admits the growth without touching ns/op.
+	deltas, _, _ = compare(base, cur, 0.25, 0.5)
+	for _, d := range deltas {
+		if d.Name == "Grew" && d.AllocsRegressed {
+			t.Fatalf("alloc threshold not honored: %+v", d)
+		}
+	}
+}
+
+// TestMainAllocRegressionFailsTheGate: end to end, growing allocs/op past the
+// default 25% fails the run even when ns/op is flat, and -allocthreshold
+// loosens only the allocation gate.
+func TestMainAllocRegressionFailsTheGate(t *testing.T) {
+	dir := t.TempDir()
+	baseFile := filepath.Join(dir, "BENCH_baseline.json")
+	if code, _, errOut := invoke(t, sampleOutput, "-write", baseFile); code != 0 {
+		t.Fatalf("write: code=%d stderr=%q", code, errOut)
+	}
+	grown := strings.ReplaceAll(sampleOutput, "1024 allocs/op", "2048 allocs/op")
+	code, out, errOut := invoke(t, grown, "-baseline", baseFile)
+	if code != 1 {
+		t.Fatalf("alloc regression passed: code=%d\n%s", code, out)
+	}
+	if !strings.Contains(out, "ALLOCS-REGRESSED") || !strings.Contains(errOut, "grew allocs/op more than 25%") {
+		t.Fatalf("alloc regression report malformed:\nstdout=%s\nstderr=%s", out, errOut)
+	}
+	if code, _, _ := invoke(t, grown, "-baseline", baseFile, "-allocthreshold", "2"); code != 0 {
+		t.Fatal("allocthreshold=2 still flagged the doubled allocs")
 	}
 }

@@ -91,11 +91,35 @@ type inputChannel struct {
 
 // InputDispatcher is system_server's input pipeline state: the event queue
 // its dispatcher thread drains, and the per-target accounting.
+//
+// In-flight InputEvents are pooled: inject draws from the free list and the
+// pipeline's terminal points (route's drop, the paused-activity drain, and
+// performInput's return) recycle the struct. No locking is needed — one
+// simulated thread runs at a time and the dispatcher never crosses kernels.
 type InputDispatcher struct {
 	sys *System
 	q   *kernel.MsgQueue
 
 	chans map[string]*inputChannel
+	free  []*InputEvent
+}
+
+func (d *InputDispatcher) getEvent() *InputEvent {
+	if n := len(d.free); n > 0 {
+		ev := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return ev
+	}
+	return &InputEvent{}
+}
+
+// putEvent recycles a fully-handled (or dropped) event. Reset invariant: the
+// struct is zeroed so a recycled event cannot leak a stale target or
+// timestamp into its next flight.
+func (d *InputDispatcher) putEvent(ev *InputEvent) {
+	*ev = InputEvent{}
+	d.free = append(d.free, ev)
 }
 
 func newInputDispatcher(sys *System) *InputDispatcher {
@@ -123,7 +147,11 @@ func (d *InputDispatcher) inject(ex *kernel.Exec, target string, kinds ...InputK
 	c := d.channel(target)
 	for _, k := range kinds {
 		c.injected++
-		ex.Send(d.q, &InputEvent{Kind: k, Target: target, Posted: ex.Now()})
+		ev := d.getEvent()
+		ev.Kind = k
+		ev.Target = target
+		ev.Posted = ex.Now()
+		ex.Send(d.q, ev)
 	}
 }
 
@@ -151,7 +179,10 @@ func (sys *System) InjectSwipe(ex *kernel.Exec, target string) {
 func (d *InputDispatcher) route(ex *kernel.Exec, ev *InputEvent) {
 	a := d.sys.appByLabel(ev.Target)
 	if a == nil || a.Dead || a.Paused() || d.sys.amForeground != a {
-		return // never delivered: counted as dropped at collection
+		// Never delivered: counted as dropped at collection. The event's
+		// flight ends here, so recycle it.
+		d.putEvent(ev)
+		return
 	}
 	a.Looper.Post(ex, Message{What: msgInput, Input: ev})
 }
@@ -227,4 +258,7 @@ func (a *App) performInput(ex *kernel.Exec, ev *InputEvent) {
 	if a.OnInput != nil {
 		a.OnInput(ex, a, ev)
 	}
+	// The handler is the end of the event's flight; handlers must not
+	// retain ev past their return.
+	a.Sys.Input.putEvent(ev)
 }

@@ -35,7 +35,9 @@ func (a *App) PausePoint(ex *kernel.Exec) {
 		if !ok {
 			return
 		}
-		a.dispatchLifecycle(ex, raw.(Message))
+		m := *raw.(*Message)
+		a.Looper.putMsg(raw.(*Message))
+		a.dispatchLifecycle(ex, m)
 	}
 }
 
@@ -53,13 +55,20 @@ func (a *App) dispatchLifecycle(ex *kernel.Exec, m Message) {
 		// real paused activity ignores stale UI traffic (the input
 		// dispatcher's accounting reports those as dropped).
 		for {
-			next := ex.Recv(a.Looper.q).(Message)
+			next := a.Looper.recv(ex)
 			switch next.What {
 			case msgResume:
 				a.onResume(ex)
 				return
 			case msgTrim:
 				a.onTrimMemory(ex, int(next.Arg))
+			default:
+				// Consumed unhandled. An input event's payload is done
+				// flying here — recycle it (the dispatcher's accounting
+				// already reports it as dropped).
+				if next.Input != nil {
+					a.Sys.Input.putEvent(next.Input)
+				}
 			}
 		}
 	case msgResume:

@@ -33,9 +33,17 @@ type Message struct {
 }
 
 // Looper is a per-thread message queue, as every Android main thread owns.
+//
+// Queued messages are pooled: Post copies the caller's Message value into a
+// recycled *Message (pointer-shaped sends avoid the interface boxing
+// allocation), and every consumer copies it back out and releases the
+// struct before dispatching. The free list needs no locking because exactly
+// one simulated thread of a kernel runs at a time, and a looper never
+// crosses kernels.
 type Looper struct {
 	q    *kernel.MsgQueue
 	quit bool
+	free []*Message
 }
 
 // NewLooper prepares a looper backed by the kernel's mailbox primitive.
@@ -43,11 +51,32 @@ func NewLooper(k *kernel.Kernel, name string) *Looper {
 	return &Looper{q: k.NewMsgQueue("looper." + name)}
 }
 
+func (l *Looper) getMsg() *Message {
+	if n := len(l.free); n > 0 {
+		m := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// putMsg returns a consumed message to the pool. Reset invariant: the struct
+// is zeroed here, so a recycled message can never leak a previous payload
+// (Run closures, Input pointers, stale Posted stamps) into its next use even
+// if a future Post forgets a field.
+func (l *Looper) putMsg(m *Message) {
+	*m = Message{}
+	l.free = append(l.free, m)
+}
+
 // Post enqueues a message from the calling thread, stamping its enqueue
 // time for the ANR watchdog.
 func (l *Looper) Post(ex *kernel.Exec, m Message) {
-	m.Posted = ex.Now()
-	ex.Send(l.q, m)
+	mp := l.getMsg()
+	*mp = m
+	mp.Posted = ex.Now()
+	ex.Send(l.q, mp)
 }
 
 // Oldest returns the head message without consuming it; ok is false when
@@ -58,7 +87,7 @@ func (l *Looper) Oldest() (Message, bool) {
 	if !ok {
 		return Message{}, false
 	}
-	return raw.(Message), true
+	return *raw.(*Message), true
 }
 
 // Quit makes Loop return after draining already-queued messages.
@@ -66,11 +95,20 @@ func (l *Looper) Quit(ex *kernel.Exec) {
 	l.Post(ex, Message{What: -1})
 }
 
+// recv blocks for the next message, copies it out, and recycles the pooled
+// struct before the caller acts on the copy.
+func (l *Looper) recv(ex *kernel.Exec) Message {
+	mp := ex.Recv(l.q).(*Message)
+	m := *mp
+	l.putMsg(mp)
+	return m
+}
+
 // Loop processes messages until Quit. The dispatch overhead per message is
 // charged as framework bytecode by the caller-provided dispatch hook.
 func (l *Looper) Loop(ex *kernel.Exec, dispatch func(ex *kernel.Exec, m Message)) {
 	for {
-		m := ex.Recv(l.q).(Message)
+		m := l.recv(ex)
 		if m.What == -1 {
 			return
 		}
@@ -90,7 +128,8 @@ func (l *Looper) TryDrain(ex *kernel.Exec, max int, dispatch func(ex *kernel.Exe
 		if !ok {
 			return n
 		}
-		m := raw.(Message)
+		m := *raw.(*Message)
+		l.putMsg(raw.(*Message))
 		if m.What == -1 {
 			l.quit = true
 			return n
@@ -112,12 +151,26 @@ type AsyncPool struct {
 	q *kernel.MsgQueue
 }
 
+// asyncTaskNames covers the framework's fixed pool size, so spawning a pool
+// formats no thread names; Sprintf only runs for oversized test pools.
+var asyncTaskNames = [...]string{
+	"AsyncTask #1", "AsyncTask #2", "AsyncTask #3", "AsyncTask #4",
+	"AsyncTask #5", "AsyncTask #6", "AsyncTask #7", "AsyncTask #8",
+}
+
+func asyncTaskName(i int) string {
+	if i < len(asyncTaskNames) {
+		return asyncTaskNames[i]
+	}
+	return fmt.Sprintf("AsyncTask #%d", i+1)
+}
+
 // NewAsyncPool spawns n workers in proc.
 func NewAsyncPool(proc *kernel.Process, n int) *AsyncPool {
 	k := proc.Kernel()
 	p := &AsyncPool{q: k.NewMsgQueue(proc.Name + ".asynctask")}
 	for i := 0; i < n; i++ {
-		name := fmt.Sprintf("AsyncTask #%d", i+1)
+		name := asyncTaskName(i)
 		k.SpawnThread(proc, name, "AsyncTask", func(ex *kernel.Exec) {
 			for {
 				task := ex.Recv(p.q).(func(ex *kernel.Exec))

@@ -10,6 +10,7 @@ package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"agave/internal/android"
 	"agave/internal/kernel"
@@ -70,14 +71,31 @@ func Names() []string {
 	return out
 }
 
-// ByName finds a workload.
+// registry memoizes one shared, read-only instance of each workload for the
+// ByName hot path: scenario engines look a workload up per app launch, and
+// rebuilding all 19 (All allocates fresh copies by contract) per launch was
+// measurable. Workloads are stateless — the Main closures capture only
+// constructor parameters — so sharing one instance across kernels is safe.
+var registry struct {
+	once   sync.Once
+	byName map[string]*Workload
+}
+
+// ByName finds a workload. The returned workload is shared; callers must
+// treat it as read-only.
 func ByName(name string) (*Workload, error) {
-	for _, w := range All() {
-		if w.Name == name {
-			return w, nil
+	registry.once.Do(func() {
+		all := All()
+		registry.byName = make(map[string]*Workload, len(all))
+		for _, w := range all {
+			registry.byName[w.Name] = w
 		}
+	})
+	w, ok := registry.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown workload %q", name)
 	}
-	return nil, fmt.Errorf("apps: unknown workload %q", name)
+	return w, nil
 }
 
 // Launch builds the benchmark application process (named "benchmark", as in

@@ -26,7 +26,13 @@ type Transaction struct {
 	sender  *kernel.Thread
 	done    bool
 	aborted bool
-	wq      *kernel.WaitQueue
+	// oneway marks a TF_ONE_WAY transaction: no client waits on wq, so the
+	// serving thread owns the struct once done and recycles it.
+	oneway bool
+	// wq is the reply wait queue, embedded by value: a fresh queue per call
+	// was one of the hottest allocation sites in a scenario run. Recycled
+	// transactions re-init it, keeping the waiter backing array.
+	wq kernel.WaitQueue
 }
 
 // Handler runs on a service's binder thread to serve a transaction. It
@@ -67,6 +73,41 @@ type Driver struct {
 	services  map[string]*Service
 	maps      map[*kernel.Process]*mem.VMA
 	faultHook FaultHook
+
+	// txnFree recycles Transaction structs. Call returns its own once the
+	// reply is extracted; serveLoop returns oneway transactions nobody
+	// waits on. The reply parcel escapes to the caller, so it is never
+	// recycled — only the transaction shell and its embedded wait queue.
+	txnFree []*Transaction
+}
+
+// getTxn hands out a recycled (or fresh) transaction with every field reset;
+// the embedded reply queue keeps its waiter backing array across reuses.
+func (d *Driver) getTxn(code int32, data *Parcel, sender *kernel.Thread, oneway bool) *Transaction {
+	var txn *Transaction
+	if n := len(d.txnFree); n > 0 {
+		txn = d.txnFree[n-1]
+		d.txnFree[n-1] = nil
+		d.txnFree = d.txnFree[:n-1]
+		txn.Reply = nil
+		txn.done = false
+		txn.aborted = false
+	} else {
+		txn = &Transaction{}
+	}
+	txn.Code = code
+	txn.Data = data
+	txn.sender = sender
+	txn.oneway = oneway
+	d.k.InitWaitQueue(&txn.wq, "binder.reply")
+	return txn
+}
+
+func (d *Driver) putTxn(txn *Transaction) {
+	txn.Data = nil
+	txn.Reply = nil
+	txn.sender = nil
+	d.txnFree = append(d.txnFree, txn)
 }
 
 // SetFaultHook installs (or, with nil, removes) the driver's fault hook.
@@ -110,12 +151,27 @@ func (d *Driver) Register(proc *kernel.Process, name string, nThreads int, h Han
 	d.services[name] = s
 	d.bufferFor(proc)
 	for i := 0; i < nThreads; i++ {
-		tname := fmt.Sprintf("Binder Thread #%d", i+1)
-		d.k.SpawnThread(proc, tname, "Binder Thread", func(ex *kernel.Exec) {
+		d.k.SpawnThread(proc, poolThreadName(i), "Binder Thread", func(ex *kernel.Exec) {
 			d.serveLoop(ex, s)
 		})
 	}
 	return s
+}
+
+// binderThreadNames covers the pool sizes every service actually uses, so
+// registering a service formats no thread names; Sprintf only runs for
+// an out-of-range (test-sized) pool.
+var binderThreadNames = [...]string{
+	"Binder Thread #1", "Binder Thread #2", "Binder Thread #3",
+	"Binder Thread #4", "Binder Thread #5", "Binder Thread #6",
+	"Binder Thread #7", "Binder Thread #8",
+}
+
+func poolThreadName(i int) string {
+	if i < len(binderThreadNames) {
+		return binderThreadNames[i]
+	}
+	return fmt.Sprintf("Binder Thread #%d", i+1)
 }
 
 // Lookup finds a registered service.
@@ -161,6 +217,10 @@ func (d *Driver) serveLoop(ex *kernel.Exec, s *Service) {
 		txn.done = true
 		txn.wq.WakeAll()
 		s.Calls++
+		if txn.oneway {
+			// No client will ever read this transaction; recycle it here.
+			d.putTxn(txn)
+		}
 	}
 }
 
@@ -184,27 +244,26 @@ func (d *Driver) Call(ex *kernel.Exec, service string, code int32, data *Parcel)
 			return nil, ferr
 		}
 	}
-	txn := &Transaction{
-		Code:   code,
-		Data:   data,
-		sender: ex.T,
-		wq:     d.k.NewWaitQueue("binder.reply"),
-	}
+	txn := d.getTxn(code, data, ex.T, false)
 	ex.Send(s.queue, txn)
 	for !txn.done {
-		ex.WaitFree(txn.wq)
+		ex.WaitFree(&txn.wq)
 	}
 	if txn.aborted {
 		// DEAD_REPLY: the service died with this transaction still queued.
 		ex.Syscall(ioctlFetch/3, ioctlData/3)
+		d.putTxn(txn)
 		return nil, fmt.Errorf("binder: transaction to %q aborted: service died", service)
 	}
 	// Reply lands in the client's binder buffer and is read out.
 	ex.Syscall(ioctlFetch/3, ioctlData/3)
 	ex.Write(buf, txn.Reply.Words())
 	ex.Read(buf, txn.Reply.Words())
-	txn.Reply.Rewind()
-	return txn.Reply, nil
+	reply := txn.Reply
+	reply.Rewind()
+	// The reply escapes to the caller; the transaction shell does not.
+	d.putTxn(txn)
+	return reply, nil
 }
 
 // CallOneway performs an asynchronous (TF_ONE_WAY) transaction: the parcel
@@ -228,12 +287,7 @@ func (d *Driver) CallOneway(ex *kernel.Exec, service string, code int32, data *P
 			return ferr
 		}
 	}
-	txn := &Transaction{
-		Code:   code,
-		Data:   data,
-		sender: ex.T,
-		wq:     d.k.NewWaitQueue("binder.reply"),
-	}
+	txn := d.getTxn(code, data, ex.T, true)
 	ex.Send(s.queue, txn)
 	return nil
 }
@@ -255,6 +309,9 @@ func (d *Driver) AbortPending(s *Service) int {
 		txn.aborted = true
 		txn.done = true
 		txn.wq.WakeAll()
+		if txn.oneway {
+			d.putTxn(txn)
+		}
 		n++
 	}
 	return n

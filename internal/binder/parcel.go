@@ -17,10 +17,18 @@ import (
 type Parcel struct {
 	buf []byte
 	off int
+	// inline backs buf for the common case: framework transactions are a
+	// few dozen bytes (an interface token, a label, a verb), so marshalling
+	// one costs no append growth. Larger payloads spill to the heap.
+	inline [64]byte
 }
 
 // NewParcel returns an empty parcel.
-func NewParcel() *Parcel { return &Parcel{} }
+func NewParcel() *Parcel {
+	p := &Parcel{}
+	p.buf = p.inline[:0]
+	return p
+}
 
 // Len reports the marshalled byte size.
 func (p *Parcel) Len() int { return len(p.buf) }

@@ -98,10 +98,14 @@ func NewContext() *Context {
 	}
 }
 
-// Start launches body as the thread's code. The body does not run until the
-// scheduler grants a quantum with Run. When body returns (or the thread is
-// killed) the context reports YieldExit.
-func (c *Context) Start(body func()) {
+// Start launches body(arg) as the thread's code. The body does not run until
+// the scheduler grants a quantum with Run. When body returns (or the thread
+// is killed) the context reports YieldExit.
+//
+// The explicit arg exists so hot spawn paths can pass a package-level
+// function plus a pointer argument instead of allocating a capturing closure
+// per thread; callers that don't care pass nil and ignore it.
+func (c *Context) Start(body func(arg any), arg any) {
 	if c.started {
 		panic("cpu: context started twice")
 	}
@@ -122,7 +126,7 @@ func (c *Context) Start(body func()) {
 			}
 			c.yieldCh <- Yield{Used: c.used, Reason: YieldExit}
 		}()
-		body()
+		body(arg)
 	}()
 }
 
@@ -154,6 +158,20 @@ func (c *Context) Kill() {
 
 // Exited reports whether the thread will never run again.
 func (c *Context) Exited() bool { return c.exited }
+
+// Recycle returns an exited context to like-new state so it can serve a new
+// thread: the old goroutine has exited and both handoff channels are empty,
+// so Start may be called again. Panics on a live context — recycling one
+// would hand its channels to two goroutines at once.
+func (c *Context) Recycle() {
+	if c.started && !c.exited {
+		panic("cpu: recycle of live context")
+	}
+	c.started = false
+	c.exited = false
+	c.quantum = 0
+	c.used = 0
+}
 
 // --- thread-side API (call only from inside the body) ---
 

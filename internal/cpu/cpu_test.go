@@ -8,11 +8,11 @@ import (
 
 func TestQuantumExpiry(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {
+	c.Start(func(any) {
 		for i := 0; i < 10; i++ {
 			c.Charge(10)
 		}
-	})
+	}, nil)
 	y := c.Run(25)
 	if y.Reason != YieldQuantum {
 		t.Fatalf("reason = %v, want quantum", y.Reason)
@@ -38,7 +38,7 @@ func TestQuantumExpiry(t *testing.T) {
 
 func TestExitWithoutCharge(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {})
+	c.Start(func(any) {}, nil)
 	y := c.Run(100)
 	if y.Reason != YieldExit || y.Used != 0 {
 		t.Fatalf("yield = %+v", y)
@@ -48,13 +48,13 @@ func TestExitWithoutCharge(t *testing.T) {
 func TestBlockAndResume(t *testing.T) {
 	c := NewContext()
 	phase := 0
-	c.Start(func() {
+	c.Start(func(any) {
 		c.Charge(5)
 		phase = 1
 		c.Block()
 		phase = 2
 		c.Charge(5)
-	})
+	}, nil)
 	y := c.Run(100)
 	if y.Reason != YieldBlocked || y.Used != 5 || phase != 1 {
 		t.Fatalf("block yield = %+v phase=%d", y, phase)
@@ -70,9 +70,9 @@ func TestBlockAndResume(t *testing.T) {
 
 func TestSleepCarriesWakeTime(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {
+	c.Start(func(any) {
 		c.Sleep(12345)
-	})
+	}, nil)
 	y := c.Run(100)
 	if y.Reason != YieldSleep || y.WakeAt != 12345 {
 		t.Fatalf("yield = %+v", y)
@@ -82,11 +82,11 @@ func TestSleepCarriesWakeTime(t *testing.T) {
 
 func TestYieldNow(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {
+	c.Start(func(any) {
 		c.Charge(3)
 		c.YieldNow()
 		c.Charge(4)
-	})
+	}, nil)
 	y := c.Run(1000)
 	if y.Reason != YieldQuantum || y.Used != 3 {
 		t.Fatalf("yield = %+v", y)
@@ -100,12 +100,12 @@ func TestYieldNow(t *testing.T) {
 func TestKillBlockedThread(t *testing.T) {
 	c := NewContext()
 	cleanedUp := false
-	c.Start(func() {
+	c.Start(func(any) {
 		defer func() { cleanedUp = true }()
 		c.Charge(1)
 		c.Block()
 		t.Error("killed thread resumed body")
-	})
+	}, nil)
 	y := c.Run(100)
 	if y.Reason != YieldBlocked {
 		t.Fatalf("yield = %+v", y)
@@ -121,9 +121,9 @@ func TestKillBlockedThread(t *testing.T) {
 
 func TestKillNeverGrantedThread(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {
+	c.Start(func(any) {
 		t.Error("never-granted thread ran")
-	})
+	}, nil)
 	c.Kill()
 	if !c.Exited() {
 		t.Fatal("not exited")
@@ -132,7 +132,7 @@ func TestKillNeverGrantedThread(t *testing.T) {
 
 func TestKillExitedIsNoop(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {})
+	c.Start(func(any) {}, nil)
 	c.Run(10)
 	c.Kill()
 	c.Kill()
@@ -140,21 +140,21 @@ func TestKillExitedIsNoop(t *testing.T) {
 
 func TestDoubleStartPanics(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {})
+	c.Start(func(any) {}, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("double Start did not panic")
 		}
 		c.Run(10) // drain the first body
 	}()
-	c.Start(func() {})
+	c.Start(func(any) {}, nil)
 }
 
 func TestChargeOverrunAllowed(t *testing.T) {
 	c := NewContext()
-	c.Start(func() {
+	c.Start(func(any) {
 		c.Charge(1000) // single huge op: atomic, not preemptable
-	})
+	}, nil)
 	y := c.Run(10)
 	if y.Reason != YieldQuantum || y.Used != 1000 {
 		t.Fatalf("yield = %+v", y)
@@ -166,16 +166,16 @@ func TestDeterministicInterleaving(t *testing.T) {
 	run := func() []sim.Ticks {
 		var used []sim.Ticks
 		a, b := NewContext(), NewContext()
-		a.Start(func() {
+		a.Start(func(any) {
 			for i := 0; i < 5; i++ {
 				a.Charge(7)
 			}
-		})
-		b.Start(func() {
+		}, nil)
+		b.Start(func(any) {
 			for i := 0; i < 5; i++ {
 				b.Charge(11)
 			}
-		})
+		}, nil)
 		for !a.Exited() || !b.Exited() {
 			if !a.Exited() {
 				used = append(used, a.Run(10).Used)

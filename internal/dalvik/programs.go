@@ -2,6 +2,7 @@ package dalvik
 
 import (
 	"fmt"
+	"sync"
 
 	"agave/internal/dex"
 )
@@ -129,14 +130,26 @@ done:
 .end
 `
 
+// stockDexes caches the assembled stock program set per application name.
+// The source is a compile-time constant and dex.File is immutable once
+// assembled, so the same *dex.File can be shared by every kernel (including
+// parallel suite workers) that launches an app of that name — assembling
+// per launch was the single largest allocation source in a scenario run.
+var stockDexes sync.Map // app name -> *dex.File
+
 // StockDex assembles the stock program set into a dex file named after the
-// owning application.
+// owning application. Results are cached per name; callers must treat the
+// returned file as read-only.
 func StockDex(appName string) *dex.File {
+	if f, ok := stockDexes.Load(appName); ok {
+		return f.(*dex.File)
+	}
 	f, err := Assemble(appName, stockSource)
 	if err != nil {
 		panic(fmt.Sprintf("dalvik: stock programs failed to assemble: %v", err))
 	}
-	return f
+	got, _ := stockDexes.LoadOrStore(appName, f)
+	return got.(*dex.File)
 }
 
 // Assemble wraps dex.Assemble and verifies the result, so every program

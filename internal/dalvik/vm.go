@@ -9,6 +9,7 @@ package dalvik
 
 import (
 	"fmt"
+	"sync"
 
 	"agave/internal/dex"
 	"agave/internal/kernel"
@@ -61,26 +62,47 @@ type LoadedDex struct {
 
 	codeOff []uint64 // per-method byte offset of code within the image
 
-	// pre caches each method's code pre-decoded from the mapped image at
-	// load time (images are immutable once mapped), so the interpreter's
-	// dispatch loop never re-decodes instruction words. progs lazily holds
-	// the per-method compiled closure programs (see interp.go). Both are
-	// shared with zygote children by ForkVM.
+	// pre caches each method's code pre-decoded from the serialized image
+	// (images are immutable once mapped), so the interpreter's dispatch
+	// loop never re-decodes instruction words. codeOff and pre come from
+	// the per-file decodedImage cache and are shared read-only by every VM
+	// loading the file; progs lazily holds the per-method compiled closure
+	// programs (see interp.go) and is shared only within one kernel's
+	// zygote lineage by ForkVM.
 	pre   [][]dex.Instr
 	progs [][]cop
 }
 
-// decodeMethods fills d.codeOff and d.pre from the mapped image bytes.
-func (d *LoadedDex) decodeMethods(img []byte) {
-	f := d.File
-	d.codeOff = make([]uint64, len(f.Methods))
-	d.pre = make([][]dex.Instr, len(f.Methods))
-	d.progs = make([][]cop, len(f.Methods))
+// decodedImage is the immutable, shareable part of a loaded dex: the
+// serialized bytes and the per-method code pre-decoded from them. It is
+// derived purely from the *dex.File, so it is computed once per file and
+// shared read-only by every VM — across kernels and suite workers — that
+// loads it; re-serializing and re-decoding per process load dominated
+// scenario allocations.
+type decodedImage struct {
+	img     []byte
+	codeOff []uint64
+	pre     [][]dex.Instr
+}
+
+var decodedImages sync.Map // *dex.File -> *decodedImage
+
+func decodeImage(f *dex.File) *decodedImage {
+	if d, ok := decodedImages.Load(f); ok {
+		return d.(*decodedImage)
+	}
+	dec := &decodedImage{
+		img:     f.Serialize(),
+		codeOff: make([]uint64, len(f.Methods)),
+		pre:     make([][]dex.Instr, len(f.Methods)),
+	}
 	for i, m := range f.Methods {
 		off := f.CodeOffset(i)
-		d.codeOff[i] = off
-		d.pre[i] = dex.DecodeCode(img[off : off+uint64(4*len(m.Code))])
+		dec.codeOff[i] = off
+		dec.pre[i] = dex.DecodeCode(dec.img[off : off+uint64(4*len(m.Code))])
 	}
+	got, _ := decodedImages.LoadOrStore(f, dec)
+	return got.(*decodedImage)
 }
 
 // VM is one process's Dalvik instance.
@@ -196,13 +218,14 @@ func (vm *VM) LoadDex(ex *kernel.Exec, file *dex.File) *LoadedDex {
 	if d, ok := vm.dexes[file.Name]; ok {
 		return d
 	}
-	img := file.Serialize()
+	dec := decodeImage(file)
+	img := dec.img
 	name := file.Name + "@classes.dex"
 	v := vm.Proc.AS.MapAnywhere(mem.MmapBase, uint64(len(img)), name,
 		mem.PermRead, mem.ClassData)
 	copy(v.Bytes(), img)
-	d := &LoadedDex{File: file, VMA: v}
-	d.decodeMethods(v.Bytes())
+	d := &LoadedDex{File: file, VMA: v, codeOff: dec.codeOff, pre: dec.pre,
+		progs: make([][]cop, len(file.Methods))}
 	vm.dexes[file.Name] = d
 
 	// Class loading: walk the image (reads) and populate LinearAlloc
@@ -227,13 +250,14 @@ func (vm *VM) Adopt(file *dex.File, v *mem.VMA) *LoadedDex {
 	if d, ok := vm.dexes[file.Name]; ok {
 		return d
 	}
-	img := file.Serialize()
+	dec := decodeImage(file)
+	img := dec.img
 	if uint64(len(img)) > v.Size() {
 		panic(fmt.Sprintf("dalvik: image %s (%d bytes) larger than mapping %s", file.Name, len(img), v.Name))
 	}
 	copy(v.Slice(0, uint64(len(img))), img)
-	d := &LoadedDex{File: file, VMA: v}
-	d.decodeMethods(v.Slice(0, uint64(len(img))))
+	d := &LoadedDex{File: file, VMA: v, codeOff: dec.codeOff, pre: dec.pre,
+		progs: make([][]cop, len(file.Methods))}
 	vm.dexes[file.Name] = d
 	return d
 }
@@ -268,14 +292,22 @@ func ForkVM(parent *VM, child *kernel.Process, services bool) *VM {
 	for k2, v := range parent.compiled {
 		vm.compiled[k2] = v
 	}
+	// One slab allocation covers every rebound dex view; which slab slot a
+	// given dex lands in follows map order, but each entry's content depends
+	// only on its name, so nothing observable varies.
+	dexSlab := make([]LoadedDex, len(parent.dexes))
+	di := 0
 	for name, d := range parent.dexes {
-		vm.dexes[name] = &LoadedDex{
+		nd := &dexSlab[di]
+		di++
+		*nd = LoadedDex{
 			File:    d.File,
 			VMA:     find(d.VMA.Name),
 			codeOff: d.codeOff,
 			pre:     d.pre,
 			progs:   d.progs,
 		}
+		vm.dexes[name] = nd
 	}
 	vm.heapCommit = vm.HeapVMA.ResidentBytes()
 	vm.gcQueue = k.NewMsgQueue(child.Name + ".gc")

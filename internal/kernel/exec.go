@@ -29,6 +29,31 @@ type Exec struct {
 
 	ctx  *cpu.Context
 	code []*mem.VMA
+
+	// codeBuf is the inline backing for code: real code stacks are a few
+	// frames deep (kernel, app text, one or two libraries), so the stack
+	// lives in the Exec itself and only pathological nesting spills to the
+	// heap via append.
+	codeBuf [8]*mem.VMA
+
+	// pend batches this thread's counter deltas so the hot accounting path
+	// is a linear scan of a few inline entries instead of a Collector map
+	// update per Add. The scheduler flushes the buffer every time the
+	// thread's quantum ends (see Kernel.Run), so whenever host code runs —
+	// between Run calls, where the engine resets or reads the collector —
+	// every off-CPU thread's counts are fully flushed. Deltas merge by
+	// (region, kind); proc and thread are fixed per Exec. Buffering is
+	// bypassed entirely while Collector.Tap is set: the trace hook must
+	// observe every Add at its original granularity.
+	pend  [8]pendEntry
+	pendN int
+}
+
+// pendEntry is one merged, not-yet-flushed counter delta of Exec.pend.
+type pendEntry struct {
+	region stats.RegionID
+	kind   stats.Kind
+	n      uint64
 }
 
 // Now reports the simulated time. Time advances only between quanta, so
@@ -39,7 +64,36 @@ func (ex *Exec) Now() sim.Ticks { return ex.K.Clock.Now() }
 func (ex *Exec) RNG() *sim.RNG { return ex.P.RNG }
 
 func (ex *Exec) account(region stats.RegionID, kind stats.Kind, n uint64) {
-	ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, region, kind, n)
+	if n == 0 {
+		return
+	}
+	if ex.K.Stats.Tap != nil {
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, region, kind, n)
+		return
+	}
+	for i := 0; i < ex.pendN; i++ {
+		if ex.pend[i].region == region && ex.pend[i].kind == kind {
+			ex.pend[i].n += n
+			return
+		}
+	}
+	if ex.pendN == len(ex.pend) {
+		ex.FlushStats()
+	}
+	ex.pend[ex.pendN] = pendEntry{region: region, kind: kind, n: n}
+	ex.pendN++
+}
+
+// FlushStats drains the batched counter deltas into the collector. The
+// scheduler calls it at every quantum end; callers that read the collector
+// from inside a running thread (none do today) would need to flush first.
+func (ex *Exec) FlushStats() {
+	for i := 0; i < ex.pendN; i++ {
+		e := &ex.pend[i]
+		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, e.region, e.kind, e.n)
+		*e = pendEntry{}
+	}
+	ex.pendN = 0
 }
 
 func (ex *Exec) charge(n uint64) {
@@ -156,14 +210,14 @@ func (ex *Exec) Do(w Work, iters uint64) {
 	}
 	for done := uint64(0); done < iters; {
 		n := min(step, iters-done)
-		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, code, stats.IFetch, n*w.Fetch)
+		ex.account(code, stats.IFetch, n*w.Fetch)
 		if w.Data != nil {
-			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data.Region, stats.DataRead, n*w.Reads)
-			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data.Region, stats.DataWrite, n*w.Writes)
+			ex.account(w.Data.Region, stats.DataRead, n*w.Reads)
+			ex.account(w.Data.Region, stats.DataWrite, n*w.Writes)
 		}
 		if w.Data2 != nil {
-			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data2.Region, stats.DataRead, n*w.Reads)
-			ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, w.Data2.Region, stats.DataWrite, n*w.Writes)
+			ex.account(w.Data2.Region, stats.DataRead, n*w.Reads)
+			ex.account(w.Data2.Region, stats.DataWrite, n*w.Writes)
 		}
 		ex.charge(n * w.Fetch)
 		done += n
@@ -176,9 +230,9 @@ func (ex *Exec) Copy(dst, src *mem.VMA, words, fetchPerWord uint64) {
 	code := ex.CurrentCode().Region
 	for done := uint64(0); done < words; {
 		n := min(uint64(chunk), words-done)
-		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, code, stats.IFetch, n*fetchPerWord)
-		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, src.Region, stats.DataRead, n)
-		ex.K.Stats.Add(ex.P.StatID, ex.T.StatID, dst.Region, stats.DataWrite, n)
+		ex.account(code, stats.IFetch, n*fetchPerWord)
+		ex.account(src.Region, stats.DataRead, n)
+		ex.account(dst.Region, stats.DataWrite, n)
 		ex.charge(n * fetchPerWord)
 		done += n
 	}
@@ -187,7 +241,11 @@ func (ex *Exec) Copy(dst, src *mem.VMA, words, fetchPerWord uint64) {
 // CopyBytes performs a real byte copy between VMA backing stores, accounting
 // one reference per word on each side plus two instructions per word.
 func (ex *Exec) CopyBytes(dst *mem.VMA, doff uint64, src *mem.VMA, soff, n uint64) {
-	copy(dst.Slice(doff, n), src.Slice(soff, n))
+	// Take the src view before the dst view: Slice may grow or thaw a store
+	// (replacing its backing array), which would orphan a view taken earlier
+	// in the same expression and lose the copy.
+	from := src.Slice(soff, n)
+	copy(dst.Slice(doff, n), from)
 	words := (n + 3) / 4
 	ex.Copy(dst, src, words, 2)
 }

@@ -53,7 +53,26 @@ type Kernel struct {
 	procs   []*Process
 	threads []*Thread
 
-	runq []*Thread
+	// runq is a head-indexed ring: dequeue pops runq[runqHead] (nilling the
+	// slot so exited threads are not retained) and append reuses the slack
+	// ahead of the head before growing. Slicing the head off instead
+	// (runq = runq[1:]) permanently walks the slice base forward, forcing
+	// append to reallocate on nearly every enqueue.
+	runq     []*Thread
+	runqHead int
+
+	// ctxFree recycles the cpu contexts of exited threads: the goroutine is
+	// gone and both handoff channels are empty, so the struct and channels
+	// can serve the next SpawnThread. Exited threads have ctx set to nil
+	// when their context is reclaimed.
+	ctxFree []*cpu.Context
+
+	// msgqSlab and wqSlab chunk-allocate mailbox and wait-queue structs:
+	// every process spawn creates several of each, and one allocation per
+	// chunk beats one per queue. Handed-out entries are never reclaimed, so
+	// their addresses stay valid for the life of the kernel.
+	msgqSlab []MsgQueue
+	wqSlab   []WaitQueue
 
 	// Swapper is the idle process (pid 0); idle time charges references
 	// to it, which is why it appears in the paper's Figures 3 and 4.
@@ -174,18 +193,41 @@ func (k *Kernel) ThreadCount() int { return len(k.threads) }
 
 func (k *Kernel) enqueue(t *Thread) {
 	t.State = StateRunnable
+	if k.runqHead > 0 && len(k.runq) == cap(k.runq) {
+		n := copy(k.runq, k.runq[k.runqHead:])
+		clear(k.runq[n:])
+		k.runq = k.runq[:n]
+		k.runqHead = 0
+	}
 	k.runq = append(k.runq, t)
 }
 
 func (k *Kernel) dequeue() *Thread {
-	for len(k.runq) > 0 {
-		t := k.runq[0]
-		k.runq = k.runq[1:]
-		if t.State == StateRunnable && !t.ctx.Exited() {
+	for k.runqHead < len(k.runq) {
+		t := k.runq[k.runqHead]
+		k.runq[k.runqHead] = nil
+		k.runqHead++
+		if k.runqHead == len(k.runq) {
+			k.runq = k.runq[:0]
+			k.runqHead = 0
+		}
+		if t.State == StateRunnable && t.ctx != nil && !t.ctx.Exited() {
 			return t
 		}
 	}
 	return nil
+}
+
+// reclaimCtx returns an exited thread's cpu context to the free list for the
+// next SpawnThread. The thread keeps State == StateExited and a nil ctx.
+func (k *Kernel) reclaimCtx(t *Thread) {
+	if t.ctx == nil || !t.ctx.Exited() {
+		return
+	}
+	c := t.ctx
+	t.ctx = nil
+	c.Recycle()
+	k.ctxFree = append(k.ctxFree, c)
 }
 
 // Wake moves a blocked thread back onto the run queue. Waking a runnable or
@@ -211,6 +253,11 @@ func (k *Kernel) Run(deadline sim.Ticks) {
 		}
 		t.State = StateRunning
 		y := t.ctx.Run(k.Cfg.Quantum)
+		// Flush the thread's batched stats deltas while it is off-CPU: the
+		// collector is exact at every quantum boundary, so host code running
+		// between Run calls (engine resets, report reads) sees counts
+		// identical to unbatched accounting.
+		t.exec.FlushStats()
 		k.Clock.Advance(y.Used)
 		switch y.Reason {
 		default:
@@ -222,10 +269,13 @@ func (k *Kernel) Run(deadline sim.Ticks) {
 		case cpu.YieldSleep:
 			t.State = StateSleeping
 			t.wakeAt = y.WakeAt
-			tt := t
-			k.Timers.Schedule(y.WakeAt, func(sim.Ticks) { k.Wake(tt) })
+			// A thread has at most one pending sleep (it runs again only
+			// after the wakeup fires), so its dedicated timer is free here.
+			t.sleepTimer.When = y.WakeAt
+			k.Timers.ScheduleTimer(&t.sleepTimer)
 		case cpu.YieldExit:
 			t.State = StateExited
+			k.reclaimCtx(t)
 		}
 	}
 }

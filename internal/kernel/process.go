@@ -95,10 +95,24 @@ type Thread struct {
 	// Gingerbread).
 	Stack *mem.VMA
 
-	ctx    *cpu.Context
+	ctx *cpu.Context
+	// exec is the thread's machine handle, embedded by value so a spawn
+	// performs one allocation for thread and handle together. The scheduler
+	// flushes its batched stats deltas at every quantum end.
+	exec Exec
+	// body is the thread function; kept as a field so Start can launch the
+	// package-level trampoline threadMain with the thread itself as argument
+	// instead of allocating a capturing closure per spawn.
+	body   func(ex *Exec)
 	wakeAt sim.Ticks
 	// waitingOn is the queue the thread is blocked on, for diagnostics.
 	waitingOn *WaitQueue
+
+	// sleepTimer is the thread's dedicated wakeup timer. A thread has at
+	// most one sleep pending (it only runs again once the wakeup fires), so
+	// the scheduler reuses this struct for every sleep instead of
+	// allocating a timer plus closure per YieldSleep.
+	sleepTimer sim.Timer
 }
 
 // String identifies the thread for diagnostics.
@@ -190,6 +204,7 @@ func (k *Kernel) KillProcess(p *Process) {
 		}
 		t.ctx.Kill()
 		t.State = StateExited
+		k.reclaimCtx(t)
 	}
 	k.releaseProcessMemory(p)
 }
@@ -222,6 +237,14 @@ func (k *Kernel) LiveProcessCount() int {
 // thread of a process uses the main "stack" region; later threads get
 // anonymous mmap stacks. group is the Table-I accounting name.
 func (k *Kernel) SpawnThread(p *Process, name, group string, body func(ex *Exec)) *Thread {
+	var ctx *cpu.Context
+	if n := len(k.ctxFree); n > 0 {
+		ctx = k.ctxFree[n-1]
+		k.ctxFree[n-1] = nil
+		k.ctxFree = k.ctxFree[:n-1]
+	} else {
+		ctx = cpu.NewContext()
+	}
 	t := &Thread{
 		TID:    k.nextTID,
 		Name:   name,
@@ -229,8 +252,9 @@ func (k *Kernel) SpawnThread(p *Process, name, group string, body func(ex *Exec)
 		Proc:   p,
 		State:  StateRunnable,
 		StatID: k.Stats.Thread(group),
-		ctx:    cpu.NewContext(),
+		ctx:    ctx,
 	}
+	t.sleepTimer.Target = t
 	k.nextTID++
 	p.nextTID++
 	if len(p.Threads) == 0 && p.Layout != nil && p.Layout.Stack != nil {
@@ -240,13 +264,34 @@ func (k *Kernel) SpawnThread(p *Process, name, group string, body func(ex *Exec)
 	}
 	p.Threads = append(p.Threads, t)
 	k.threads = append(k.threads, t)
-	ex := &Exec{K: k, P: p, T: t, ctx: t.ctx}
+	ex := &t.exec
+	ex.K = k
+	ex.P = p
+	ex.T = t
+	ex.ctx = t.ctx
+	ex.code = ex.codeBuf[:0]
 	if p.Layout != nil && p.Layout.Kernel != nil {
 		// The bottom of every code stack is the kernel region: a thread
 		// with no user code region (kernel threads) fetches from it.
 		ex.code = append(ex.code, p.Layout.Kernel)
 	}
-	t.ctx.Start(func() { body(ex) })
+	t.body = body
+	t.ctx.Start(threadMain, t)
 	k.enqueue(t)
 	return t
+}
+
+// threadMain is the goroutine entry for every simulated thread. A shared
+// trampoline taking the thread through Start's any-typed argument means a
+// spawn allocates no per-thread closure (a *Thread in an interface is
+// pointer-shaped and allocation-free).
+func threadMain(arg any) {
+	t := arg.(*Thread)
+	t.body(&t.exec)
+}
+
+// TimerFired wakes the thread from a completed sleep; it makes Thread the
+// closure-free Target of its own embedded sleep timer.
+func (t *Thread) TimerFired(sim.Ticks) {
+	t.Proc.kern.Wake(t)
 }

@@ -168,13 +168,27 @@ type Image struct {
 // LinkMap is a process's set of mapped libraries, by name.
 type LinkMap struct {
 	images map[string]*Image
+
+	// slab backs the Image structs: link maps are rebuilt per fork, and a
+	// per-library allocation was a measurable share of scenario allocs.
+	slab []Image
+}
+
+// newImage hands out a zeroed Image struct from the chunked slab.
+func (lm *LinkMap) newImage() *Image {
+	if len(lm.slab) == 0 {
+		lm.slab = make([]Image, 16)
+	}
+	img := &lm.slab[0]
+	lm.slab = lm.slab[1:]
+	return img
 }
 
 // Load maps every named library into as (using layout's bump pointer) and
 // returns the link map. Unknown names are mapped with a default small
 // footprint so app-private libraries ("libdoom.so") need no catalog entry.
 func Load(as *mem.AddressSpace, layout *mem.Layout, names []string) *LinkMap {
-	lm := &LinkMap{images: make(map[string]*Image, len(names))}
+	lm := &LinkMap{images: make(map[string]*Image, len(names)), slab: make([]Image, len(names))}
 	for _, name := range names {
 		lm.LoadOne(as, layout, name)
 	}
@@ -191,7 +205,9 @@ func (lm *LinkMap) LoadOne(as *mem.AddressSpace, layout *mem.Layout, name string
 		lib = Library{Name: name, Size: 160 * KB}
 	}
 	text, _ := layout.MapLibrary(as, lib.Name, lib.Size, 0)
-	img := &Image{Lib: lib, VMA: text}
+	img := lm.newImage()
+	img.Lib = lib
+	img.VMA = text
 	lm.images[name] = img
 	return img
 }
@@ -200,14 +216,17 @@ func (lm *LinkMap) LoadOne(as *mem.AddressSpace, layout *mem.Layout, name string
 // of) the named mappings — the situation after fork, where the child
 // inherited the parent's libraries. Names not yet mapped are loaded.
 func Rebind(as *mem.AddressSpace, layout *mem.Layout, names []string) *LinkMap {
-	lm := &LinkMap{images: make(map[string]*Image, len(names))}
+	lm := &LinkMap{images: make(map[string]*Image, len(names)), slab: make([]Image, len(names))}
 	for _, name := range names {
 		if v := as.FindByName(name); v != nil {
 			lib, ok := Lookup(name)
 			if !ok {
 				lib = Library{Name: name, Size: v.Size()}
 			}
-			lm.images[name] = &Image{Lib: lib, VMA: v}
+			img := lm.newImage()
+			img.Lib = lib
+			img.VMA = v
+			lm.images[name] = img
 			continue
 		}
 		lm.LoadOne(as, layout, name)

@@ -35,6 +35,11 @@ type AddressSpace struct {
 	// lookup cache: the last VMA hit. Valid because the simulator advances
 	// one thread at a time.
 	last *VMA
+
+	// vmaSlab is a chunked allocator for VMA structs: Map is called dozens
+	// of times per process launch, and individual VMA allocations were a
+	// measurable share of scenario allocs. Entries are handed out zeroed.
+	vmaSlab []VMA
 }
 
 // NewAddressSpace returns an empty map whose VMAs intern their region names
@@ -104,14 +109,13 @@ func (as *AddressSpace) Map(start Addr, size uint64, name string, perms Perm, cl
 	if i := as.overlapIndex(start, end); i >= 0 {
 		return nil, fmt.Errorf("mem: mapping %q [%#x,%#x) overlaps %s", name, start, end, as.vmas[i])
 	}
-	v := &VMA{
-		Start:  start,
-		End:    end,
-		Name:   name,
-		Perms:  perms,
-		Class:  class,
-		Region: as.collector.Region(name),
-	}
+	v := as.newVMA()
+	v.Start = start
+	v.End = end
+	v.Name = name
+	v.Perms = perms
+	v.Class = class
+	v.Region = as.collector.Region(name)
 	as.insert(v)
 	as.invalidate(v.Start, v.End)
 	as.addResident(v, int64(size))
@@ -135,7 +139,12 @@ func (as *AddressSpace) MapAnywhere(hint Addr, size uint64, name string, perms P
 // belong to another address space), at the lowest free gap at or above hint.
 // The new VMA shares src's name, class, and bytes.
 func (as *AddressSpace) MapShared(hint Addr, src *VMA, perms Perm) *VMA {
-	src.materialize()
+	// A frozen fork snapshot cannot be aliased: the first write on either
+	// side would thaw it into a private copy and the alias would diverge.
+	// ensure(0) thaws src (and creates its store if absent) before sharing;
+	// later in-place growth keeps every alias in sync because all aliases
+	// hold the same store struct.
+	src.ensure(0)
 	v := as.MapAnywhere(hint, src.Size(), src.Name, perms, src.Class)
 	v.Shared = true
 	v.store = src.store
@@ -235,11 +244,9 @@ func (as *AddressSpace) Brk(newBrk Addr) Addr {
 	if i := as.overlapIndexExcept(heap.Start, newBrk, heap); i >= 0 {
 		return as.brk
 	}
-	if newBrk > heap.End && heap.store != nil && heap.store.data != nil {
-		grown := make([]byte, newBrk-heap.Start)
-		copy(grown, heap.store.data[:heap.store.hi])
-		heap.store.data = grown
-	}
+	// Growth does not touch the store: Slice grows the backing on demand the
+	// first time the new range is actually touched, which also keeps a
+	// frozen post-fork snapshot intact until a real access thaws it.
 	// Invalidate against the pre-mutation extent: a shrink takes addresses
 	// away from a possibly-cached heap hit.
 	oldEnd := heap.End
@@ -262,22 +269,29 @@ func (as *AddressSpace) Brk(newBrk Addr) Addr {
 
 // Clone produces the child address space of a fork. Shared and read-only
 // VMAs alias the parent's backing store (zygote's copy-on-write model: text,
-// preloaded heaps); writable private VMAs are deep-copied if materialized.
+// preloaded heaps); writable private VMAs are snapshotted copy-on-write: the
+// store is frozen and shared with the child, and the first Slice on either
+// side thaws it into a private copy (VMA.ensure). A fork therefore copies no
+// arena bytes at all — the zygote's preloaded-but-mostly-idle heaps cost
+// nothing until a side actually writes them.
 func (as *AddressSpace) Clone() *AddressSpace {
 	child := NewAddressSpace(as.collector)
 	child.brk = as.brk
-	child.vmas = make([]*VMA, 0, len(as.vmas))
-	for _, v := range as.vmas {
-		nv := &VMA{
-			Start:    v.Start,
-			End:      v.End,
-			Name:     v.Name,
-			Perms:    v.Perms,
-			Class:    v.Class,
-			Region:   v.Region,
-			Shared:   v.Shared,
-			resident: v.resident,
-		}
+	// One slab for all child VMA structs: address spaces here have dozens of
+	// mappings, and forks are frequent enough that per-VMA allocations were a
+	// measurable share of scenario allocs.
+	slab := make([]VMA, len(as.vmas))
+	child.vmas = make([]*VMA, len(as.vmas))
+	for i, v := range as.vmas {
+		nv := &slab[i]
+		nv.Start = v.Start
+		nv.End = v.End
+		nv.Name = v.Name
+		nv.Perms = v.Perms
+		nv.Class = v.Class
+		nv.Region = v.Region
+		nv.Shared = v.Shared
+		nv.resident = v.resident
 		if countable(nv) {
 			child.residentPages += nv.resident / PageSize
 			if int(nv.Class) < len(child.classPages) {
@@ -287,17 +301,28 @@ func (as *AddressSpace) Clone() *AddressSpace {
 		switch {
 		case v.Shared || v.Perms&PermWrite == 0:
 			nv.store = v.store
-		case v.store != nil && v.store.data != nil:
-			// Copy only the touched prefix: data beyond hi is all-zero, and
-			// the fresh allocation is zero pages the child never faults in
-			// unless it actually touches them.
-			data := make([]byte, len(v.store.data))
-			copy(data, v.store.data[:v.store.hi])
-			nv.store = &store{data: data, hi: v.store.hi}
+		case v.store != nil && v.store.hi > 0:
+			// Freeze the touched snapshot and share it. Neither side may
+			// mutate a frozen store, so this is safe across repeated forks:
+			// untouched children all reference the same immutable snapshot.
+			v.store.frozen = true
+			nv.store = v.store
 		}
-		child.vmas = append(child.vmas, nv)
+		// A writable private store with hi == 0 has no touched bytes: the
+		// child starts unmaterialized, which reads identically (all zero).
+		child.vmas[i] = nv
 	}
 	return child
+}
+
+// newVMA hands out a zeroed VMA struct from the chunked slab.
+func (as *AddressSpace) newVMA() *VMA {
+	if len(as.vmaSlab) == 0 {
+		as.vmaSlab = make([]VMA, 16)
+	}
+	v := &as.vmaSlab[0]
+	as.vmaSlab = as.vmaSlab[1:]
+	return v
 }
 
 func (as *AddressSpace) insert(v *VMA) {

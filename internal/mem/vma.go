@@ -106,15 +106,26 @@ func (v *VMA) String() string {
 // the VMA, materializing backing storage on first touch. Programs that do
 // real computation on simulated memory (decoders, rasterizers, interpreters)
 // operate on these views.
+//
+// Views are transient: growth (and thawing of a fork snapshot) replaces the
+// backing array, copying the touched prefix, so a view taken before an
+// intervening Slice call on the same store may alias stale — but
+// byte-identical — memory. Callers must re-Slice before writing after any
+// other Slice on the same store (see docs/ARCHITECTURE.md, "Hot path &
+// pooling").
 func (v *VMA) Slice(off, n uint64) []byte {
-	if off+n > v.Size() {
-		panic(fmt.Sprintf("mem: slice [%d,%d) outside %s of size %d", off, off+n, v.Name, v.Size()))
+	end := off + n
+	if end > v.Size() {
+		panic(fmt.Sprintf("mem: slice [%d,%d) outside %s of size %d", off, end, v.Name, v.Size()))
 	}
-	v.materialize()
-	if off+n > v.store.hi {
-		v.store.hi = off + n
+	s := v.store
+	if s == nil || s.frozen || uint64(len(s.data)) < end {
+		s = v.ensure(end)
 	}
-	return v.store.data[off : off+n]
+	if end > s.hi {
+		s.hi = end
+	}
+	return s.data[off:end]
 }
 
 // Bytes returns a mutable view of the whole VMA.
@@ -128,24 +139,81 @@ func (v *VMA) AddrOf(off uint64) Addr {
 	return v.Start + off
 }
 
-func (v *VMA) materialize() {
-	if v.store == nil {
-		v.store = &store{}
+// ensure gives v a private, writable store whose backing array covers at
+// least [0, end). It handles the two slow paths Slice kicks out to:
+//
+//   - a frozen store (snapshotted by a fork): replaced with a private copy
+//     of the touched prefix, leaving the snapshot untouched for the other
+//     side of the fork;
+//   - a backing array shorter than end: grown in place (the store struct is
+//     retained so shared mappings aliasing it observe the growth) with
+//     amortized doubling capped at the VMA size.
+//
+// Either way only data[:hi] is copied — data[hi:] is all-zero by the Slice
+// invariant, and fresh arrays are already zero.
+func (v *VMA) ensure(end uint64) *store {
+	s := v.store
+	if s == nil {
+		s = &store{}
+		v.store = s
 	}
-	if v.store.data == nil {
-		v.store.data = make([]byte, v.Size())
+	if s.frozen {
+		// Thaw: this side of the fork touches the mapping first (or again);
+		// give it a private array covering end. The array never shrinks below
+		// the snapshot's extent — a heap shrunk by Brk keeps stale bytes past
+		// the break (and hi may exceed the VMA size), and those must survive
+		// the thaw so they reappear on regrowth exactly as without a fork.
+		want := grownLen(end, v.Size())
+		if n := uint64(len(s.data)); n > want {
+			want = n
+		}
+		data := make([]byte, want)
+		copy(data, s.data[:s.hi])
+		ns := &store{data: data, hi: s.hi}
+		v.store = ns
+		return ns
 	}
+	if uint64(len(s.data)) < end {
+		data := make([]byte, grownLen(end, v.Size()))
+		copy(data, s.data[:s.hi])
+		s.data = data
+	}
+	return s
+}
+
+// grownLen picks the new backing length for a store that must cover at least
+// need bytes of a VMA of size max: amortized doubling from a one-page floor,
+// capped at the mapping size.
+func grownLen(need, max uint64) uint64 {
+	if need >= max {
+		return max
+	}
+	n := uint64(PageSize)
+	for n < need {
+		n <<= 1
+	}
+	if n > max {
+		n = max
+	}
+	return n
 }
 
 // store is the byte backing of a VMA. Shared VMAs alias one store across
-// address spaces; private VMAs deep-copy on fork once materialized.
+// address spaces; private VMAs copy on write after fork.
 //
 // hi is the touched high-water mark: every mutable view of the backing is
 // handed out by Slice, which raises hi past the view's end, so data[hi:] is
-// guaranteed all-zero. Fork (AddressSpace.Clone) and brk growth exploit this
-// by copying only the touched prefix of a mostly-empty arena — the zygote's
-// preloaded-but-unwritten heaps — instead of the whole mapping.
+// guaranteed all-zero. The backing array is grown on demand (amortized
+// doubling, capped at the mapping size), so len(data) can be anywhere from 0
+// to the VMA size; untouched tail bytes read as zero once grown.
+//
+// frozen marks a snapshot shared between a forked parent and child: neither
+// data nor hi may be mutated while set. The first Slice on either side thaws
+// the mapping by installing a private copy of the touched prefix (see
+// VMA.ensure), which is exactly copy-on-write at store granularity — repeated
+// forks of untouched arenas copy nothing.
 type store struct {
-	data []byte
-	hi   uint64
+	data   []byte
+	hi     uint64
+	frozen bool
 }

@@ -57,7 +57,7 @@ type Figure struct {
 func Fig1(results []*core.Result) Figure {
 	return buildFigure("fig1", "Instruction references by VMA region", Fig1Legend,
 		results, func(r *core.Result) map[string]uint64 {
-			return r.Stats.ByRegion(stats.IFetch)
+			return r.Stats.ByRegionInto(nil, stats.InstrSet)
 		})
 }
 
@@ -65,7 +65,7 @@ func Fig1(results []*core.Result) Figure {
 func Fig2(results []*core.Result) Figure {
 	return buildFigure("fig2", "Data references by VMA region", Fig2Legend,
 		results, func(r *core.Result) map[string]uint64 {
-			return r.Stats.ByRegion(stats.DataKinds...)
+			return r.Stats.ByRegionInto(nil, stats.DataSet)
 		})
 }
 
@@ -73,7 +73,7 @@ func Fig2(results []*core.Result) Figure {
 func Fig3(results []*core.Result) Figure {
 	return buildFigure("fig3", "Instruction references by process", Fig3Legend,
 		results, func(r *core.Result) map[string]uint64 {
-			return r.Stats.ByProcess(stats.IFetch)
+			return r.Stats.ByProcessInto(nil, stats.InstrSet)
 		})
 }
 
@@ -81,7 +81,7 @@ func Fig3(results []*core.Result) Figure {
 func Fig4(results []*core.Result) Figure {
 	return buildFigure("fig4", "Data references by process", Fig4Legend,
 		results, func(r *core.Result) map[string]uint64 {
-			return r.Stats.ByProcess(stats.DataKinds...)
+			return r.Stats.ByProcessInto(nil, stats.DataSet)
 		})
 }
 
@@ -99,14 +99,28 @@ func buildFigure(id, title string, legend []string, results []*core.Result,
 // total memory references across the Agave suite (SPEC results are
 // excluded, as in the paper).
 func Table1(results []*core.Result) stats.Breakdown {
+	merged := mergeSuite(results)
+	return stats.NewBreakdown(merged.ByThreadInto(nil, stats.AllSet))
+}
+
+// mergeSuite folds every non-SPEC result into one collector, presized from
+// the inputs so the merge never rehashes the counter table.
+func mergeSuite(results []*core.Result) *stats.Collector {
 	merged := stats.NewCollector()
+	cells := 0
+	for _, r := range results {
+		if !r.IsSPEC {
+			cells += r.Stats.Cells()
+		}
+	}
+	merged.Presize(cells)
 	for _, r := range results {
 		if r.IsSPEC {
 			continue
 		}
 		merged.Merge(r.Stats)
 	}
-	return stats.NewBreakdown(merged.ByThread(stats.AllKinds...))
+	return merged
 }
 
 // ScalarRow is one benchmark's Section-III census line.
@@ -136,14 +150,8 @@ func Scalars(results []*core.Result) []ScalarRow {
 // SuiteRegionCounts reports the suite-wide distinct instruction and data
 // region counts (the paper: "over 65" and "almost 170").
 func SuiteRegionCounts(results []*core.Result) (code, data int) {
-	merged := stats.NewCollector()
-	for _, r := range results {
-		if r.IsSPEC {
-			continue
-		}
-		merged.Merge(r.Stats)
-	}
-	return merged.RegionCount(stats.IFetch), merged.RegionCount(stats.DataKinds...)
+	merged := mergeSuite(results)
+	return merged.RegionCountSet(stats.InstrSet), merged.RegionCountSet(stats.DataSet)
 }
 
 // WriteTable renders the figure as an aligned percentage table: one row per

@@ -423,3 +423,43 @@ func TestPauseParksForegroundApp(t *testing.T) {
 		t.Fatalf("killed app alive: dead=%v liveThreads=%d", a.Dead, a.Proc.LiveThreads())
 	}
 }
+
+// TestRepeatedRunsWithWarmPoolsAreByteIdentical pins the pooling work: the
+// engine's free lists (looper messages, input events, binder transactions,
+// recycled cpu contexts) and the package-level caches they feed (stock dex
+// images, decoded programs) must never leak state between runs. The first
+// run of each scenario is the cold-cache reference; the two that follow
+// execute with every process-wide cache warm and must reproduce the report
+// byte for byte. Both a chaos scenario (fault injection, crash/restart) and
+// an input-heavy scenario (the dispatcher's pooled event path) are covered.
+func TestRepeatedRunsWithWarmPoolsAreByteIdentical(t *testing.T) {
+	for _, name := range []string{"binder-storm", "thumb-scroll"} {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Run(sc, quickCfg())
+		if err != nil {
+			t.Fatalf("%s: cold run: %v", name, err)
+		}
+		for i := 0; i < 2; i++ {
+			warm, err := Run(sc, quickCfg())
+			if err != nil {
+				t.Fatalf("%s: warm run %d: %v", name, i, err)
+			}
+			if warm.Stats.Fingerprint() != cold.Stats.Fingerprint() {
+				t.Fatalf("%s: warm run %d fingerprint diverged", name, i)
+			}
+			if !reflect.DeepEqual(warm.Stats.Entries(), cold.Stats.Entries()) {
+				t.Fatalf("%s: warm run %d counter matrix diverged", name, i)
+			}
+			// Every non-counter report input must match too: census
+			// scalars, input outcomes, fault bookkeeping.
+			wc, cc := *warm, *cold
+			wc.Stats, cc.Stats = nil, nil
+			if !reflect.DeepEqual(wc, cc) {
+				t.Fatalf("%s: warm run %d result fields diverged:\nwarm: %+v\ncold: %+v", name, i, wc, cc)
+			}
+		}
+	}
+}

@@ -9,9 +9,19 @@ type Timer struct {
 	// Fire is invoked when the deadline is reached. It runs on the
 	// simulation loop; it must not block.
 	Fire func(now Ticks)
+	// Target, when non-nil, receives the firing instead of Fire. Long-lived
+	// owners of embedded timers (the scheduler's per-thread sleep timer) set
+	// it once so arming the timer never allocates a closure.
+	Target TimerTarget
 
 	index int // heap index; -1 when not queued
 	seq   uint64
+}
+
+// TimerTarget is the closure-free delivery interface for Timer: a timer with
+// a Target fires by calling TimerFired on it.
+type TimerTarget interface {
+	TimerFired(now Ticks)
 }
 
 // TimerQueue is a deterministic priority queue of timers. Ties on deadline
@@ -28,6 +38,16 @@ func (q *TimerQueue) Schedule(when Ticks, fire func(now Ticks)) *Timer {
 	q.seq++
 	heap.Push(&q.h, t)
 	return t
+}
+
+// ScheduleTimer enqueues a caller-owned timer whose When and Fire fields are
+// already set. It exists so hot paths (the scheduler's per-sleep wakeups) can
+// reuse one Timer struct instead of allocating per Schedule call; the caller
+// must not touch t again until it has fired or been cancelled.
+func (q *TimerQueue) ScheduleTimer(t *Timer) {
+	t.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, t)
 }
 
 // Cancel removes t from the queue. Cancelling an already-fired or
@@ -58,7 +78,11 @@ func (q *TimerQueue) FireDue(now Ticks) int {
 	n := 0
 	for len(q.h) > 0 && q.h[0].When <= now {
 		t := heap.Pop(&q.h).(*Timer)
-		t.Fire(now)
+		if t.Target != nil {
+			t.Target.TimerFired(now)
+		} else {
+			t.Fire(now)
+		}
 		n++
 	}
 	return n

@@ -51,6 +51,36 @@ var AllKinds = []Kind{IFetch, DataRead, DataWrite}
 // InstrKinds selects instruction reads only.
 var InstrKinds = []Kind{IFetch}
 
+// KindSet is a precomputed access-class selector. The variadic query methods
+// build one per call; callers folding counters repeatedly (mid-run metric
+// reads, report assembly) should construct the set once with MakeKindSet —
+// or use the hoisted AllSet/DataSet/InstrSet — and call the *Set/*Into
+// variants, which allocate nothing beyond what the caller passes in.
+type KindSet [numKinds]bool
+
+// MakeKindSet builds the selector for the given classes; with no arguments
+// it selects every class.
+func MakeKindSet(kinds ...Kind) KindSet {
+	var sel KindSet
+	if len(kinds) == 0 {
+		for i := range sel {
+			sel[i] = true
+		}
+		return sel
+	}
+	for _, k := range kinds {
+		sel[k] = true
+	}
+	return sel
+}
+
+// Hoisted selectors for the three folds the paper's figures use.
+var (
+	AllSet   = MakeKindSet(AllKinds...)
+	DataSet  = MakeKindSet(DataKinds...)
+	InstrSet = MakeKindSet(InstrKinds...)
+)
+
 // ProcID identifies an interned process name.
 type ProcID int32
 
@@ -80,9 +110,15 @@ func (in *interner) get(name string) int32 {
 	return id
 }
 
+// unknownName is the out-of-range fallback of interner.name. It is a
+// preformatted constant so the lookup path never allocates: name resolution
+// runs inside every counter fold, and formatting an error string there would
+// put fmt.Sprintf on the hot path for what is always a caller bug.
+const unknownName = "<unknown id>"
+
 func (in *interner) name(id int32) string {
 	if id < 0 || int(id) >= len(in.names) {
-		return fmt.Sprintf("<id %d>", id)
+		return unknownName
 	}
 	return in.names[id]
 }
@@ -150,8 +186,11 @@ func (c *Collector) Add(p ProcID, t ThreadID, r RegionID, k Kind, n uint64) {
 
 // Total reports the number of accesses across the given classes (all classes
 // when none are given).
-func (c *Collector) Total(kinds ...Kind) uint64 {
-	sel := kindSet(kinds)
+func (c *Collector) Total(kinds ...Kind) uint64 { return c.TotalSet(MakeKindSet(kinds...)) }
+
+// TotalSet is Total with a caller-built selector: the allocation-free form
+// for repeated mid-run reads.
+func (c *Collector) TotalSet(sel KindSet) uint64 {
 	var sum uint64
 	for k, v := range c.counts {
 		if sel[k.kind] {
@@ -161,71 +200,111 @@ func (c *Collector) Total(kinds ...Kind) uint64 {
 	return sum
 }
 
+// reuse clears and returns dst, allocating a fresh map only when dst is nil —
+// the shared reuse contract of the *Into fold variants.
+func reuse(dst map[string]uint64) map[string]uint64 {
+	if dst == nil {
+		return make(map[string]uint64)
+	}
+	clear(dst)
+	return dst
+}
+
 // ByRegion folds counts of the given classes by region name.
 func (c *Collector) ByRegion(kinds ...Kind) map[string]uint64 {
-	sel := kindSet(kinds)
-	out := make(map[string]uint64)
+	return c.ByRegionInto(nil, MakeKindSet(kinds...))
+}
+
+// ByRegionInto is ByRegion with a caller-built selector and an optional
+// destination map: a non-nil dst is cleared and reused, so a caller polling
+// the fold mid-run allocates nothing after the first read.
+func (c *Collector) ByRegionInto(dst map[string]uint64, sel KindSet) map[string]uint64 {
+	dst = reuse(dst)
 	for k, v := range c.counts {
 		if sel[k.kind] {
-			out[c.RegionName(k.region)] += v
+			dst[c.RegionName(k.region)] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // ByProcess folds counts of the given classes by process name.
 func (c *Collector) ByProcess(kinds ...Kind) map[string]uint64 {
-	sel := kindSet(kinds)
-	out := make(map[string]uint64)
+	return c.ByProcessInto(nil, MakeKindSet(kinds...))
+}
+
+// ByProcessInto is ByProcess with a caller-built selector and an optional
+// reusable destination map (see ByRegionInto).
+func (c *Collector) ByProcessInto(dst map[string]uint64, sel KindSet) map[string]uint64 {
+	dst = reuse(dst)
 	for k, v := range c.counts {
 		if sel[k.kind] {
-			out[c.ProcName(k.proc)] += v
+			dst[c.ProcName(k.proc)] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // ByRegionForProcess folds counts of the given classes by region name,
 // restricted to the named process.
 func (c *Collector) ByRegionForProcess(proc string, kinds ...Kind) map[string]uint64 {
-	sel := kindSet(kinds)
+	return c.ByRegionForProcessInto(nil, proc, MakeKindSet(kinds...))
+}
+
+// ByRegionForProcessInto is ByRegionForProcess with a caller-built selector
+// and an optional reusable destination map (see ByRegionInto).
+func (c *Collector) ByRegionForProcessInto(dst map[string]uint64, proc string, sel KindSet) map[string]uint64 {
+	dst = reuse(dst)
 	pid, ok := c.procs.ids[proc]
 	if !ok {
-		return map[string]uint64{}
+		return dst
 	}
-	out := make(map[string]uint64)
 	for k, v := range c.counts {
 		if k.proc == ProcID(pid) && sel[k.kind] {
-			out[c.RegionName(k.region)] += v
+			dst[c.RegionName(k.region)] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // ByThread folds counts of the given classes by thread group name.
 func (c *Collector) ByThread(kinds ...Kind) map[string]uint64 {
-	sel := kindSet(kinds)
-	out := make(map[string]uint64)
+	return c.ByThreadInto(nil, MakeKindSet(kinds...))
+}
+
+// ByThreadInto is ByThread with a caller-built selector and an optional
+// reusable destination map (see ByRegionInto).
+func (c *Collector) ByThreadInto(dst map[string]uint64, sel KindSet) map[string]uint64 {
+	dst = reuse(dst)
 	for k, v := range c.counts {
 		if sel[k.kind] {
-			out[c.ThreadName(k.thread)] += v
+			dst[c.ThreadName(k.thread)] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // RegionCount reports how many distinct regions received at least one access
 // of the given classes. This backs the paper's "code regions"/"data regions"
 // per-application scalar metrics.
 func (c *Collector) RegionCount(kinds ...Kind) int {
-	sel := kindSet(kinds)
-	seen := make(map[RegionID]bool)
+	return c.RegionCountSet(MakeKindSet(kinds...))
+}
+
+// RegionCountSet is RegionCount with a caller-built selector. The seen table
+// is a dense bool slice over the region ID space rather than a map: region
+// IDs are small and dense by construction, so the scalar census costs one
+// slice allocation instead of a map insert per distinct region.
+func (c *Collector) RegionCountSet(sel KindSet) int {
+	seen := make([]bool, len(c.regions.names))
+	n := 0
 	for k, v := range c.counts {
-		if v > 0 && sel[k.kind] {
+		if v > 0 && sel[k.kind] && !seen[k.region] {
 			seen[k.region] = true
+			n++
 		}
 	}
-	return len(seen)
+	return n
 }
 
 // ProcessCount reports how many distinct processes issued at least one access.
@@ -237,6 +316,24 @@ func (c *Collector) ProcessCount() int {
 		}
 	}
 	return len(seen)
+}
+
+// Cells reports the number of distinct counter cells currently held — the
+// presizing hint for a collector about to receive this one's counts.
+func (c *Collector) Cells() int { return len(c.counts) }
+
+// Presize grows the (empty or warmed) counter table to hold at least cells
+// entries, so the inserts that follow never rehash. Report assembly uses it
+// to size suite-wide merge targets from their inputs' Cells before Merge.
+func (c *Collector) Presize(cells int) {
+	if cells <= len(c.counts) {
+		return
+	}
+	counts := make(map[ckey]uint64, cells)
+	for k, v := range c.counts {
+		counts[k] = v
+	}
+	c.counts = counts
 }
 
 // Merge adds every count in other into c. Names are re-interned, so the two
@@ -253,7 +350,11 @@ func (c *Collector) Merge(other *Collector) {
 	}
 }
 
-// Reset clears all counts but keeps interned names.
+// Reset clears all counts but keeps interned names — and, because clear
+// preserves the map's buckets, the counter table stays preallocated at its
+// high-water size. A warmed collector's next measurement interval therefore
+// inserts into a table that already fits the cells the warmup populated,
+// which is exactly the engine's reset-after-boot pattern.
 func (c *Collector) Reset() { clear(c.counts) }
 
 // Entry is one cell of the counter matrix in name (not ID) space.
@@ -366,20 +467,6 @@ func (a Agg) Min() float64 { return a.MinV }
 
 // Max reports the largest sample (zero when empty).
 func (a Agg) Max() float64 { return a.MaxV }
-
-func kindSet(kinds []Kind) [numKinds]bool {
-	var sel [numKinds]bool
-	if len(kinds) == 0 {
-		for i := range sel {
-			sel[i] = true
-		}
-		return sel
-	}
-	for _, k := range kinds {
-		sel[k] = true
-	}
-	return sel
-}
 
 // Row is one entry of a Breakdown: a named count with its share of the total.
 type Row struct {

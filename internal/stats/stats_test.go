@@ -311,3 +311,26 @@ func TestAggMeanMinMax(t *testing.T) {
 		t.Fatalf("single-sample agg wrong: %+v", one)
 	}
 }
+
+func TestNameLookupsDoNotAllocate(t *testing.T) {
+	c := NewCollector()
+	p := c.Proc("system_server")
+	th := c.Thread("Binder Thread")
+	r := c.Region("libdvm.so")
+	var sink string
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = c.ProcName(p)
+		sink = c.ThreadName(th)
+		sink = c.RegionName(r)
+		// Out-of-range ids take the preformatted fallback, not Sprintf.
+		sink = c.ProcName(ProcID(9999))
+		sink = c.ThreadName(ThreadID(-1))
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("name lookups allocated %.1f per run, want 0", allocs)
+	}
+	if got := c.ProcName(ProcID(9999)); got != unknownName {
+		t.Fatalf("out-of-range lookup = %q, want %q", got, unknownName)
+	}
+}
