@@ -14,6 +14,7 @@ import (
 
 	"agave/internal/core"
 	"agave/internal/dalvik"
+	"agave/internal/fleet"
 	"agave/internal/kernel"
 	"agave/internal/loader"
 	"agave/internal/report"
@@ -436,5 +437,95 @@ func BenchmarkAblationQuantum(b *testing.B) {
 				b.ReportMetric(bt.Share("SurfaceFlinger")*100, "surfaceflinger_pct")
 			}
 		})
+	}
+}
+
+// BenchmarkFleetAggregate streams 100k synthetic result lines through the
+// fleet coordinator's aggregator — decode, fold, seal shards, report. The
+// asserted allocs/op bound is what makes this a constant-memory gate:
+// steady-state allocations are per-cell and per-shard, never per-line, so
+// the bound holds whether 100k or 10^6 lines stream through.
+func BenchmarkFleetAggregate(b *testing.B) {
+	const lines = 100_000
+	const shardSize = 1024
+	units := []string{"alpha", "beta", "gamma", "delta"}
+	raws := make([][]byte, lines)
+	for i := range raws {
+		l := fleet.Line{
+			Index:       i,
+			Unit:        units[i%len(units)],
+			Seed:        uint64(i%5 + 1),
+			Ablation:    "base",
+			Fingerprint: uint64(i) * 0x9e3779b97f4a7c15,
+			Metrics: []fleet.Metric{
+				{Name: "total_refs", Value: float64((i + 1) * 100)},
+				{Name: "value", Value: 0.1 * float64(i+1)},
+			},
+		}
+		raw, err := l.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		raws[i] = raw
+	}
+	shards := suite.NumShards(lines, shardSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := fleet.NewAggregator(lines, shardSize, "bench")
+		var line fleet.Line
+		for s := 0; s < shards; s++ {
+			lo, hi := suite.ShardRange(lines, shardSize, s)
+			for j := lo; j < hi; j++ {
+				if err := fleet.DecodeLine(raws[j], &line); err != nil {
+					b.Fatal(err)
+				}
+				if err := agg.Observe(s, raws[j], &line); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := agg.FinishShard(s, -1, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep, err := agg.Report()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Runs != lines {
+			b.Fatalf("report folded %d runs, want %d", rep.Runs, lines)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lines*b.N)/b.Elapsed().Seconds()/1e6, "Mlines/s")
+	// The aggregator's own fold is zero-alloc once warm (pinned exactly by
+	// TestAggregatorFoldIsAllocationFree in internal/fleet); the per-line
+	// allocations measured here are the JSON decoder's transient string
+	// and token ones, roughly one per field. The ceiling leaves decode
+	// headroom but sits far below what any O(line)-sized aggregator state
+	// regression (say a retained []Line) would cost.
+	if b.N > 0 {
+		allocsPerLine := float64(testing.AllocsPerRun(1, func() {
+			agg := fleet.NewAggregator(lines, shardSize, "bench")
+			var line fleet.Line
+			for s := 0; s < shards; s++ {
+				lo, hi := suite.ShardRange(lines, shardSize, s)
+				for j := lo; j < hi; j++ {
+					if err := fleet.DecodeLine(raws[j], &line); err != nil {
+						b.Fatal(err)
+					}
+					if err := agg.Observe(s, raws[j], &line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := agg.FinishShard(s, -1, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})) / lines
+		if allocsPerLine > 20 {
+			b.Fatalf("aggregation allocates %.1f per line — the fold is no longer constant-memory", allocsPerLine)
+		}
+		b.ReportMetric(allocsPerLine, "allocs/line")
 	}
 }

@@ -11,6 +11,7 @@
 //	agave scenario <name...> [flags]   # scripted multi-app sessions
 //	agave scenario -file <path>        # run a JSON scenario document
 //	agave scenario -export <name>      # dump a bundled scenario as canonical JSON
+//	agave fleet [flags]                # process-sharded suite matrix (see below)
 //	agave fig1|fig2|fig3|fig4 [flags]  # regenerate a figure (table/csv/bars)
 //	agave table1 [flags]               # regenerate Table I
 //	agave scalars [flags]              # Section-III census metrics
@@ -39,6 +40,18 @@
 //	                   -gen-apps/-gen-events/-gen-pressure/-gen-inputs/
 //	                   -gen-faults set the knobs
 //	-json              emit plan, per-run rows, and summaries as JSON
+//
+// The fleet subcommand executes the same matrix sharded across worker
+// subprocesses with constant-memory streaming aggregation — the
+// million-session execution path (see docs/FLEET.md). The report of any
+// worker count, including a checkpoint-resumed run, is byte-identical to
+// the serial in-process run of the same plan, and its fingerprint commits
+// to every per-run result line:
+//
+//	-workers 0         worker subprocesses (0 = serial in-process)
+//	-shard-size 8      plan specs per shard (shard geometry, never concurrency)
+//	-checkpoint path   journal completed shards; an existing journal resumes
+//	-worker            internal: run one shard from a stdin envelope
 //
 // The scenario subcommand runs scripted multi-app sessions: apps launch,
 // switch, background, and die on a deterministic timeline while every
@@ -120,6 +133,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	genPressure := fs.Int("gen-pressure", 0, "memory-pressure knob of generated scenarios (0 = none)")
 	genInputs := fs.Int("gen-inputs", 0, "input gestures (tap/key/swipe) per generated scenario (0 = none)")
 	genFaults := fs.Int("gen-faults", 0, "fault-injection events per generated scenario (0 = none)")
+	workers := fs.Int("workers", 0, "fleet worker subprocesses (0 = serial in-process)")
+	shardSize := fs.Int("shard-size", 8, "fleet plan specs per shard")
+	checkpoint := fs.String("checkpoint", "", "fleet checkpoint journal path (existing journals resume)")
+	workerMode := fs.Bool("worker", false, "internal: run one fleet shard from a stdin envelope")
 
 	switch cmd {
 	case "list":
@@ -132,7 +149,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %s\n", n)
 		}
 		return 0
-	case "run", "suite", "scenario", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
+	case "run", "suite", "scenario", "fleet", "fig1", "fig2", "fig3", "fig4", "table1", "scalars", "all":
 		// parsed below
 	default:
 		usage(stderr)
@@ -211,7 +228,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		MinFreePages:         *minFree,
 	}
 
-	if cmd == "suite" || cmd == "scenario" {
+	if cmd == "suite" || cmd == "scenario" || cmd == "fleet" {
 		// -ablations sweeps base/nojit/dirtyrect as matrix cells; a base
 		// config that already forces one of those flags would make the
 		// cell labels lie (the "base" row would really be nojit).
@@ -234,10 +251,18 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if cmd != "suite" {
+	if cmd != "suite" && cmd != "fleet" {
 		for _, f := range []string{"scenario-dir", "gen-scenarios", "gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs", "gen-faults"} {
 			if setFlags[f] {
-				fmt.Fprintf(stderr, "agave %s: -%s applies to the suite subcommand\n", cmd, f)
+				fmt.Fprintf(stderr, "agave %s: -%s applies to the suite and fleet subcommands\n", cmd, f)
+				return 2
+			}
+		}
+	}
+	if cmd != "fleet" {
+		for _, f := range []string{"workers", "shard-size", "checkpoint", "worker"} {
+			if setFlags[f] {
+				fmt.Fprintf(stderr, "agave %s: -%s applies to the fleet subcommand\n", cmd, f)
 				return 2
 			}
 		}
@@ -245,10 +270,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	// A generator knob without -gen-scenarios would configure zero
 	// generated sessions: reject the forgotten count, don't ignore the
 	// knobs.
-	if cmd == "suite" && *genScenarios == 0 {
+	if (cmd == "suite" || cmd == "fleet") && *genScenarios == 0 {
 		for _, f := range []string{"gen-seed", "gen-apps", "gen-events", "gen-pressure", "gen-inputs", "gen-faults"} {
 			if setFlags[f] {
-				fmt.Fprintf(stderr, "agave suite: -%s requires -gen-scenarios N\n", f)
+				fmt.Fprintf(stderr, "agave %s: -%s requires -gen-scenarios N\n", cmd, f)
 				return 2
 			}
 		}
@@ -270,11 +295,21 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return scenarioCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations, *asJSON,
 			*listScenarios, *scenarioFile, *exportName)
 	}
-	if cmd == "suite" {
+	if cmd == "suite" || cmd == "fleet" {
 		gen := genFlags{n: *genScenarios, seed: *genSeed, apps: *genApps,
 			events: *genEvents, pressure: *genPressure, inputs: *genInputs, faults: *genFaults}
-		return suiteCmd(stdout, stderr, cfg, names, *parallel, *seedList, *ablations,
-			*scenarioList, *scenarioDir, gen, *asJSON)
+		pf := planFlags{names: names, seedList: *seedList, ablations: *ablations,
+			scenarioList: *scenarioList, scenarioDir: *scenarioDir, gen: gen}
+		if cmd == "fleet" {
+			return fleetCmd(stdout, stderr, cfg, fleetFlags{
+				workers:    *workers,
+				shardSize:  *shardSize,
+				checkpoint: *checkpoint,
+				worker:     *workerMode,
+				asJSON:     *asJSON,
+			}, pf)
+		}
+		return suiteCmd(stdout, stderr, cfg, pf, *parallel, *asJSON)
 	}
 
 	results, err := core.RunSuite(cfg, names...)
@@ -400,13 +435,22 @@ type genFlags struct {
 	faults   int
 }
 
-// suiteCmd executes the suite subcommand: build the run matrix — benchmarks,
-// named scenarios, directory-loaded scenario files, and generated scenarios
-// are all plan axes — execute it on the worker pool, and render per-run rows
-// plus cross-seed summaries.
-func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
-	parallel int, seedList string, ablations bool, scenarioList, scenarioDir string,
-	gen genFlags, asJSON bool) int {
+// planFlags bundles the matrix-building flags shared by the suite and fleet
+// subcommands: both subcommands resolve an identical plan from identical
+// flags, so a fleet sweep always has an exact serial counterpart.
+type planFlags struct {
+	names        []string
+	seedList     string
+	ablations    bool
+	scenarioList string
+	scenarioDir  string
+	gen          genFlags
+}
+
+// buildPlan resolves the shared matrix flags into a run plan. On failure it
+// reports (zero plan, exit code, false) with the diagnostic already printed.
+func buildPlan(stderr io.Writer, cmd string, cfg core.Config, pf planFlags) (suite.Plan, int, bool) {
+	names := pf.names
 	if len(names) == 0 {
 		names = core.SuiteNames()
 	}
@@ -416,21 +460,21 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 	}
 	for _, n := range names {
 		if !known[n] {
-			fmt.Fprintf(stderr, "agave suite: unknown benchmark %q\n", n)
-			return 1
+			fmt.Fprintf(stderr, "agave %s: unknown benchmark %q\n", cmd, n)
+			return suite.Plan{}, 1, false
 		}
 	}
 	var scenarios []string
-	if scenarioList != "" {
+	if pf.scenarioList != "" {
 		knownSc := make(map[string]bool)
 		for _, n := range core.ScenarioNames() {
 			knownSc[n] = true
 		}
-		for _, n := range strings.Split(scenarioList, ",") {
+		for _, n := range strings.Split(pf.scenarioList, ",") {
 			n = strings.TrimSpace(n)
 			if !knownSc[n] {
-				fmt.Fprintf(stderr, "agave suite: unknown scenario %q\n", n)
-				return 1
+				fmt.Fprintf(stderr, "agave %s: unknown scenario %q\n", cmd, n)
+				return suite.Plan{}, 1, false
 			}
 			scenarios = append(scenarios, n)
 		}
@@ -439,25 +483,26 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 	// -gen-scenarios generated sessions at consecutive generation seeds.
 	// Names must stay unique across the whole scenario axis — two cells
 	// with one name would alias in reports and summaries.
+	gen := pf.gen
 	var set []*scenario.Scenario
-	if scenarioDir != "" {
-		loaded, err := scenario.LoadDir(scenarioDir)
+	if pf.scenarioDir != "" {
+		loaded, err := scenario.LoadDir(pf.scenarioDir)
 		if err != nil {
-			fmt.Fprintln(stderr, "agave suite:", err)
-			return 1
+			fmt.Fprintf(stderr, "agave %s: %v\n", cmd, err)
+			return suite.Plan{}, 1, false
 		}
 		set = append(set, loaded...)
 	}
 	if gen.n < 0 {
-		fmt.Fprintf(stderr, "agave suite: -gen-scenarios must not be negative (got %d)\n", gen.n)
-		return 2
+		fmt.Fprintf(stderr, "agave %s: -gen-scenarios must not be negative (got %d)\n", cmd, gen.n)
+		return suite.Plan{}, 2, false
 	}
 	// The sibling knobs validate the same way: zero means "use the
 	// default", but a negative value is a typo, not a request.
 	if gen.apps < 0 || gen.events < 0 || gen.pressure < 0 || gen.inputs < 0 || gen.faults < 0 {
-		fmt.Fprintf(stderr, "agave suite: -gen-apps, -gen-events, -gen-pressure, -gen-inputs, and -gen-faults must not be negative (got %d/%d/%d/%d/%d)\n",
-			gen.apps, gen.events, gen.pressure, gen.inputs, gen.faults)
-		return 2
+		fmt.Fprintf(stderr, "agave %s: -gen-apps, -gen-events, -gen-pressure, -gen-inputs, and -gen-faults must not be negative (got %d/%d/%d/%d/%d)\n",
+			cmd, gen.apps, gen.events, gen.pressure, gen.inputs, gen.faults)
+		return suite.Plan{}, 2, false
 	}
 	for i := 0; i < gen.n; i++ {
 		set = append(set, scenario.Generate(scenario.GenConfig{
@@ -469,17 +514,29 @@ func suiteCmd(stdout, stderr io.Writer, cfg core.Config, names []string,
 			Faults:   gen.faults,
 		}))
 	}
-	if !uniqueScenarioAxis(stderr, "suite", scenarios, set) {
-		return 1
+	if !uniqueScenarioAxis(stderr, cmd, scenarios, set) {
+		return suite.Plan{}, 1, false
 	}
-	seeds, ok := parseSeeds(stderr, "suite", cfg.Seed, seedList)
+	seeds, ok := parseSeeds(stderr, cmd, cfg.Seed, pf.seedList)
 	if !ok {
-		return 2
+		return suite.Plan{}, 2, false
 	}
 	plan := suite.Plan{Benchmarks: names, Scenarios: scenarios, ScenarioSet: set,
 		Seeds: seeds, Ablations: []suite.Ablation{suite.Baseline}}
-	if ablations {
+	if pf.ablations {
 		plan.Ablations = suite.DefaultAblations
+	}
+	return plan, 0, true
+}
+
+// suiteCmd executes the suite subcommand: build the run matrix — benchmarks,
+// named scenarios, directory-loaded scenario files, and generated scenarios
+// are all plan axes — execute it on the worker pool, and render per-run rows
+// plus cross-seed summaries.
+func suiteCmd(stdout, stderr io.Writer, cfg core.Config, pf planFlags, parallel int, asJSON bool) int {
+	plan, code, ok := buildPlan(stderr, "suite", cfg, pf)
+	if !ok {
+		return code
 	}
 	outputs, err := core.RunPlan(cfg, plan, parallel)
 	if err != nil {
@@ -591,6 +648,7 @@ commands:
   run       run one benchmark and print its breakdowns
   suite     run a benchmark × seed × ablation matrix on a worker pool
   scenario  run scripted multi-app sessions (-list for the library)
+  fleet     run the matrix sharded across worker subprocesses (docs/FLEET.md)
   fig1      instruction references by VMA region   (paper Fig. 1)
   fig2      data references by VMA region          (paper Fig. 2)
   fig3      instruction references by process      (paper Fig. 3)

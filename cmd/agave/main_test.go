@@ -604,13 +604,13 @@ func TestCrossSubcommandScenarioFlagsRejected(t *testing.T) {
 		{"suite -export", []string{"suite", "-export", "commute"},
 			"-export applies to the scenario subcommand"},
 		{"scenario -scenario-dir", []string{"scenario", "commute", "-scenario-dir", "d"},
-			"-scenario-dir applies to the suite subcommand"},
+			"-scenario-dir applies to the suite and fleet subcommands"},
 		{"scenario -gen-scenarios", []string{"scenario", "commute", "-gen-scenarios", "3"},
-			"-gen-scenarios applies to the suite subcommand"},
+			"-gen-scenarios applies to the suite and fleet subcommands"},
 		{"scenario -gen-apps", []string{"scenario", "commute", "-gen-apps", "12"},
-			"-gen-apps applies to the suite subcommand"},
+			"-gen-apps applies to the suite and fleet subcommands"},
 		{"scenario -gen-seed at default", []string{"scenario", "commute", "-gen-seed", "1"},
-			"-gen-seed applies to the suite subcommand"},
+			"-gen-seed applies to the suite and fleet subcommands"},
 		{"-export with names", []string{"scenario", "commute", "-export", "social-burst"},
 			"-export cannot be combined"},
 		{"-export with -file", []string{"scenario", "-export", "commute", "-file", "x.json"},
@@ -624,7 +624,7 @@ func TestCrossSubcommandScenarioFlagsRejected(t *testing.T) {
 		{"run -file", []string{"run", "countdown.main", "-file", "x.json"},
 			"-file applies to the scenario subcommand"},
 		{"fig1 -scenario-dir", []string{"fig1", "-scenario-dir", "d"},
-			"-scenario-dir applies to the suite subcommand"},
+			"-scenario-dir applies to the suite and fleet subcommands"},
 		{"all -export", []string{"all", "-export", "commute"},
 			"-export applies to the scenario subcommand"},
 		{"gen knob without count", []string{"suite", "-bench", "countdown.main", "-gen-apps", "12"},

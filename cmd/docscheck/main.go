@@ -1,5 +1,5 @@
 // Command docscheck is the documentation gate CI's docs job runs. It
-// enforces four invariants that rot silently otherwise:
+// enforces five invariants that rot silently otherwise:
 //
 //  1. Every package under internal/ carries exactly one package-level godoc
 //     comment, and it begins "Package <name> ", so `go doc ./internal/<pkg>`
@@ -16,6 +16,11 @@
 //  4. Every analyzer registered in internal/lint/analyzers appears as a
 //     heading in docs/LINT.md, so a new lint invariant cannot ship without
 //     its reference entry — same contract as the scenario kinds.
+//  5. Every wire-format field name internal/fleet declares (json struct
+//     tags: result lines, envelopes, trailers, checkpoint records) appears
+//     as a backticked token in docs/FLEET.md, so the shard-protocol and
+//     checkpoint references can never drift from the structs that define
+//     the formats.
 //
 // A third Go-side invariant used to live here: every markdown file a Go
 // comment references must exist. That check is now the docref analyzer in
@@ -27,13 +32,17 @@ package main
 
 import (
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 
 	"agave/internal/lint/analyzers"
@@ -66,6 +75,12 @@ func run(root string, stdout, stderr io.Writer) int {
 	findings = append(findings, linkFindings...)
 	findings = append(findings, checkScenarioKindDocs(root)...)
 	findings = append(findings, checkLintAnalyzerDocs(root)...)
+	fleetFindings, err := checkFleetWireDocs(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "docscheck:", err)
+		return 2
+	}
+	findings = append(findings, fleetFindings...)
 	if len(findings) > 0 {
 		for _, f := range findings {
 			fmt.Fprintln(stderr, f)
@@ -206,6 +221,80 @@ func checkLintAnalyzerDocs(root string) []string {
 		}
 	}
 	return findings
+}
+
+// fleetWireDoc is the fleet wire-format reference checkFleetWireDocs holds
+// to the internal/fleet struct tags, relative to the repo root.
+const fleetWireDoc = "docs/FLEET.md"
+
+// checkFleetWireDocs verifies that every JSON wire-format field name
+// internal/fleet declares appears as a backticked token in docs/FLEET.md:
+// the shard protocol and checkpoint format are defined by those struct
+// tags, so renaming or adding a field without updating the reference fails
+// the gate. The document is held to the parsed tags (never the reverse),
+// _test.go files are out of scope, and a tree without internal/fleet is
+// clean — the gate follows the package, not the other way around.
+func checkFleetWireDocs(root string) ([]string, error) {
+	dir := filepath.Join(root, "internal", "fleet")
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	names := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if field.Tag == nil {
+					continue
+				}
+				tag, err := strconv.Unquote(field.Tag.Value)
+				if err != nil {
+					continue
+				}
+				name, _, _ := strings.Cut(reflect.StructTag(tag).Get("json"), ",")
+				if name != "" && name != "-" {
+					names[name] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n) //agave:allow maporder collect-then-sort: sorted below before any output
+	}
+	sort.Strings(sorted)
+	data, err := os.ReadFile(filepath.Join(root, fleetWireDoc))
+	if err != nil {
+		return []string{fmt.Sprintf(
+			"%s: missing fleet wire-format reference (every internal/fleet json tag must be documented there)",
+			fleetWireDoc)}, nil
+	}
+	doc := string(data)
+	var findings []string
+	for _, name := range sorted {
+		if !strings.Contains(doc, "`"+name+"`") {
+			findings = append(findings, fmt.Sprintf(
+				"%s: wire-format field %q (internal/fleet) is undocumented (add it as a backticked token)",
+				fleetWireDoc, name))
+		}
+	}
+	return findings, nil
 }
 
 // checkMarkdownLinks resolves every relative link destination in the repo's

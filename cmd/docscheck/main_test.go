@@ -181,3 +181,75 @@ func TestDetectsUndocumentedLintAnalyzers(t *testing.T) {
 		t.Errorf("documented analyzers flagged:\n%s", strings.Join(findings, "\n"))
 	}
 }
+
+// TestDetectsUndocumentedFleetWireFields: every json struct tag in
+// internal/fleet must appear backticked in docs/FLEET.md — a missing token
+// and a missing document are both findings, a documented tree is clean, and
+// a tree without internal/fleet is clean (the gate follows the package).
+func TestDetectsUndocumentedFleetWireFields(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No internal/fleet: clean, not a finding or an error.
+	findings, err := checkFleetWireDocs(root)
+	if err != nil || len(findings) != 0 {
+		t.Fatalf("fleet-less tree: findings=%v err=%v", findings, err)
+	}
+
+	src := `package fleet
+
+type Line struct {
+	Index   int     ` + "`json:\"index\"`" + `
+	Digest  string  ` + "`json:\"digest,omitempty\"`" + `
+	Skipped string  ` + "`json:\"-\"`" + `
+	NoTag   string
+}
+`
+	write("internal/fleet/fleet.go", src)
+	// Tags in _test.go files are out of scope.
+	write("internal/fleet/fleet_test.go", `package fleet
+
+type testOnly struct {
+	X int `+"`json:\"test_only_field\"`"+`
+}
+`)
+
+	// No document at all: one finding naming the reference doc.
+	findings, err = checkFleetWireDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "docs/FLEET.md: missing fleet wire-format reference") {
+		t.Fatalf("missing document not reported:\n%s", strings.Join(findings, "\n"))
+	}
+
+	// One field documented, one not: exactly the gap is reported, and the
+	// json:"-" field and the test-file tag are never demanded.
+	write("docs/FLEET.md", "# Fleet\n\nLines carry `index`.\n")
+	findings, err = checkFleetWireDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], `wire-format field "digest" (internal/fleet) is undocumented`) {
+		t.Fatalf("want exactly the digest gap, got:\n%s", strings.Join(findings, "\n"))
+	}
+
+	// The gap closed: the ",omitempty" option must not leak into the token.
+	write("docs/FLEET.md", "# Fleet\n\nLines carry `index` and `digest`.\n")
+	findings, err = checkFleetWireDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("documented fields flagged:\n%s", strings.Join(findings, "\n"))
+	}
+}

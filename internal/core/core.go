@@ -229,6 +229,34 @@ func (cfg Config) forSpec(s suite.RunSpec) Config {
 	return out
 }
 
+// RunOne executes one plan spec on a fresh simulated machine: the spec's
+// seed and ablation are applied on top of base exactly as the suite engine's
+// workers do, so a spec run through RunOne — in this process or a fleet
+// worker subprocess — yields the bit-identical result a serial plan sweep
+// would have produced at the same plan position.
+func RunOne(base Config, s suite.RunSpec) (*Result, sim.Ticks, error) {
+	cfg := base.forSpec(s)
+	var r *Result
+	var err error
+	if s.Scenario && s.Def != nil {
+		r, err = RunScenarioDef(s.Def, cfg)
+	} else if s.Scenario {
+		r, err = RunScenario(s.Benchmark, cfg)
+	} else {
+		r, err = Run(s.Benchmark, cfg)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	// Only SPEC runs skip warmup accounting (they boot no Android stack);
+	// Agave and scenario runs include it.
+	ticks := cfg.Duration
+	if !r.IsSPEC {
+		ticks += cfg.Warmup
+	}
+	return r, ticks, nil
+}
+
 // NewEngine builds a suite engine that executes core benchmarks and
 // scenarios: each run boots a fresh simulated machine configured from base
 // plus the spec's seed and ablation. parallel bounds the worker pool (<= 0
@@ -237,26 +265,7 @@ func NewEngine(base Config, parallel int) suite.Engine[*Result] {
 	return suite.Engine[*Result]{
 		Parallel: parallel,
 		Run: func(s suite.RunSpec) (*Result, sim.Ticks, error) {
-			cfg := base.forSpec(s)
-			var r *Result
-			var err error
-			if s.Scenario && s.Def != nil {
-				r, err = RunScenarioDef(s.Def, cfg)
-			} else if s.Scenario {
-				r, err = RunScenario(s.Benchmark, cfg)
-			} else {
-				r, err = Run(s.Benchmark, cfg)
-			}
-			if err != nil {
-				return nil, 0, err
-			}
-			// Only SPEC runs skip warmup accounting (they boot no
-			// Android stack); Agave and scenario runs include it.
-			ticks := cfg.Duration
-			if !r.IsSPEC {
-				ticks += cfg.Warmup
-			}
-			return r, ticks, nil
+			return RunOne(base, s)
 		},
 	}
 }

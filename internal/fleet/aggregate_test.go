@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func syntheticLines(t testing.TB, n int) ([][]byte, []Line) {
+	t.Helper()
+	raws := make([][]byte, n)
+	lines := make([]Line, n)
+	for i := 0; i < n; i++ {
+		l := Line{
+			Index:       i,
+			Unit:        fmt.Sprintf("unit-%d", i%4),
+			Seed:        uint64(i%3 + 1),
+			Ablation:    "base",
+			Fingerprint: uint64(i) * 0x9e3779b97f4a7c15,
+			Metrics: []Metric{
+				{Name: "total_refs", Value: float64((i + 1) * 100)},
+				{Name: "value", Value: 0.1 * float64(i+1)},
+			},
+		}
+		raw, err := l.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws[i] = raw
+		lines[i] = l
+	}
+	return raws, lines
+}
+
+// TestDigestOrderAndGeometryInvariance pins the multiset property: the
+// digest of a line set is independent of both the order lines fold in and
+// how they are grouped into shards.
+func TestDigestOrderAndGeometryInvariance(t *testing.T) {
+	raws, _ := syntheticLines(t, 100)
+	var forward, backward Digest
+	for _, r := range raws {
+		forward.AddLine(r)
+	}
+	for i := len(raws) - 1; i >= 0; i-- {
+		backward.AddLine(raws[i])
+	}
+	if forward != backward {
+		t.Fatal("digest depends on fold order")
+	}
+	// Group into uneven shards and merge shard digests out of order.
+	var grouped Digest
+	bounds := []int{0, 7, 7, 31, 100}
+	var parts []Digest
+	for i := 1; i < len(bounds); i++ {
+		var d Digest
+		for _, r := range raws[bounds[i-1]:bounds[i]] {
+			d.AddLine(r)
+		}
+		parts = append(parts, d)
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		grouped.Merge(parts[i])
+	}
+	if grouped != forward {
+		t.Fatal("digest depends on shard grouping")
+	}
+	// Hex round-trips.
+	parsed, err := ParseDigest(forward.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != forward {
+		t.Fatal("digest hex round-trip failed")
+	}
+	if len(forward.Hex()) != 64 {
+		t.Fatalf("digest hex is %d chars, want 64", len(forward.Hex()))
+	}
+	// And a different multiset yields a different digest.
+	var other Digest
+	for _, r := range raws[1:] {
+		other.AddLine(r)
+	}
+	if other == forward {
+		t.Fatal("dropping a line did not change the digest")
+	}
+}
+
+// TestAggregatorInterleavingInvariance folds the same lines through
+// aggregators with shards completing in different interleavings and
+// requires identical reports.
+func TestAggregatorInterleavingInvariance(t *testing.T) {
+	const total, size = 23, 5
+	raws, lines := syntheticLines(t, total)
+	fold := func(shardOrder []int) *Report {
+		agg := NewAggregator(total, size, "testhash")
+		for _, s := range shardOrder {
+			lo := s * size
+			hi := min(lo+size, total)
+			for i := lo; i < hi; i++ {
+				if err := agg.Observe(s, raws[i], &lines[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := agg.FinishShard(s, -1, ""); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := agg.Report()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want, err := json.Marshal(fold([]int{0, 1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]int{{4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}} {
+		got, err := json.Marshal(fold(order))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shard completion order %v changed the report:\n%s\nwant:\n%s", order, got, want)
+		}
+	}
+}
+
+func TestAggregatorRejectsBadStreams(t *testing.T) {
+	const total, size = 23, 5
+	raws, lines := syntheticLines(t, total)
+	agg := NewAggregator(total, size, "h")
+	if err := agg.Observe(7, raws[0], &lines[0]); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := agg.Observe(0, raws[1], &lines[1]); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("out-of-order line accepted: %v", err)
+	}
+	if err := agg.Observe(0, raws[0], &lines[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.FinishShard(0, -1, ""); err == nil {
+		t.Fatal("short shard sealed")
+	}
+	// Trailer mismatches.
+	agg = NewAggregator(total, size, "h")
+	for i := 0; i < size; i++ {
+		if err := agg.Observe(0, raws[i], &lines[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agg.FinishShard(0, size+1, ""); err == nil || !strings.Contains(err.Error(), "trailer claims") {
+		t.Fatalf("line-count mismatch accepted: %v", err)
+	}
+}
+
+// TestAggregatorFoldIsAllocationFree is the constant-memory pin: once the
+// aggregator has seen every cell, folding further lines allocates nothing,
+// so memory is a function of the plan's cell count — O(units × ablations)
+// — and never of how many result lines stream through.
+func TestAggregatorFoldIsAllocationFree(t *testing.T) {
+	const total, size = 1 << 16, 1 << 16
+	raws, lines := syntheticLines(t, 256)
+	agg := NewAggregator(total, size, "h")
+	next := 0
+	// Warm every cell (units cycle mod 4).
+	for i := 0; i < 8; i++ {
+		l := lines[i]
+		l.Index = next
+		if err := agg.Observe(0, raws[i], &l); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		l := lines[next%256]
+		l.Index = next
+		if err := agg.Observe(0, raws[next%256], &l); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Observe allocates %.1f per line, want 0", allocs)
+	}
+}

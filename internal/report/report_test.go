@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"agave/internal/core"
+	"agave/internal/fleet"
 	"agave/internal/sim"
 	"agave/internal/stats"
 	"agave/internal/suite"
@@ -260,5 +261,67 @@ func TestWriteSuiteJSONRoundTrip(t *testing.T) {
 	sums, ok := doc["summaries"].([]any)
 	if !ok || len(sums) != 2 {
 		t.Fatalf("JSON summaries wrong: %v", doc["summaries"])
+	}
+}
+
+func TestFleetLineCanonical(t *testing.T) {
+	results := twoResults()
+	spec := suite.RunSpec{Index: 3, Benchmark: "frozenbubble.main", Seed: 7, Ablation: suite.Ablation{Name: "nojit"}}
+	line := FleetLine(spec, results[0])
+	if line.Index != 3 || line.Unit != "frozenbubble.main" || line.Seed != 7 || line.Ablation != "nojit" {
+		t.Fatalf("line header wrong: %+v", line)
+	}
+	if line.Fingerprint != results[0].Stats.Fingerprint() {
+		t.Fatal("line fingerprint does not match the run's stats fingerprint")
+	}
+	for i := 1; i < len(line.Metrics); i++ {
+		if line.Metrics[i-1].Name >= line.Metrics[i].Name {
+			t.Fatalf("metrics not name-sorted: %+v", line.Metrics)
+		}
+	}
+	// Two calls over the same result encode identically — the map fold
+	// never leaks iteration order onto the wire.
+	a, err := line.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := FleetLine(spec, results[0])
+	b, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("line encoding unstable:\n%s\n%s", a, b)
+	}
+}
+
+func TestWriteFleetReport(t *testing.T) {
+	rep := &fleet.Report{
+		PlanHash: "abc", Runs: 4, Shards: 2, ShardSize: 2,
+		Fingerprint: fleet.Digest{}.Hex(),
+		Cells: []*fleet.Cell{
+			{Unit: "frozenbubble.main", Ablation: "base", Runs: 4, Metrics: []fleet.MetricAgg{
+				{Name: "total_refs", Agg: stats.Agg{N: 4, Sum: 800, MinV: 100, MaxV: 300}},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	WriteFleetText(&buf, rep)
+	out := buf.String()
+	for _, want := range []string{"4 runs in 2 shards of 2", "frozenbubble.main", "200 [100, 300]", "fingerprint: " + fleet.Digest{}.Hex()} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet text missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteFleetJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round fleet.Report
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("invalid fleet JSON: %v\n%s", err, buf.String())
+	}
+	if round.Fingerprint != rep.Fingerprint || len(round.Cells) != 1 {
+		t.Fatalf("fleet JSON round-trip wrong: %+v", round)
 	}
 }

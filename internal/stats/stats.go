@@ -454,6 +454,26 @@ func (a *Agg) Observe(v float64) {
 	a.Sum += v
 }
 
+// Merge folds the aggregate other into a, as if a had observed every sample
+// other summarizes (after its own). It is the distributed counterpart of
+// Observe: the fleet executor builds per-shard partial aggregates worker-side
+// and merges them coordinator-side in shard order, so the float fold tree —
+// and therefore every rounding step — is identical between a serial run and
+// any worker count.
+func (a *Agg) Merge(other Agg) {
+	if other.N == 0 {
+		return
+	}
+	if a.N == 0 || other.MinV < a.MinV {
+		a.MinV = other.MinV
+	}
+	if a.N == 0 || other.MaxV > a.MaxV {
+		a.MaxV = other.MaxV
+	}
+	a.N += other.N
+	a.Sum += other.Sum
+}
+
 // Mean reports the sample mean (zero when empty).
 func (a Agg) Mean() float64 {
 	if a.N == 0 {

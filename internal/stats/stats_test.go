@@ -334,3 +334,37 @@ func TestNameLookupsDoNotAllocate(t *testing.T) {
 		t.Fatalf("out-of-range lookup = %q, want %q", got, unknownName)
 	}
 }
+
+func TestAggMerge(t *testing.T) {
+	// Merging per-shard partials in order reproduces the serial fold bit for
+	// bit: same N, same Sum (not just approximately), same extrema.
+	samples := []float64{0.1, 0.2, 0.3, 4, -2, 1e-9, 7.5, 0.7}
+	var serial Agg
+	for _, v := range samples {
+		serial.Observe(v)
+	}
+	var left, right Agg
+	for _, v := range samples[:3] {
+		left.Observe(v)
+	}
+	for _, v := range samples[3:] {
+		right.Observe(v)
+	}
+	merged := left
+	merged.Merge(right)
+	if merged != serial {
+		t.Fatalf("merged = %+v, serial = %+v", merged, serial)
+	}
+	// Merging into or from an empty aggregate is the identity.
+	var empty Agg
+	got := serial
+	got.Merge(empty)
+	if got != serial {
+		t.Fatalf("merge with empty changed agg: %+v", got)
+	}
+	got = empty
+	got.Merge(serial)
+	if got != serial {
+		t.Fatalf("merge into empty = %+v, want %+v", got, serial)
+	}
+}

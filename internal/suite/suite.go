@@ -138,6 +138,34 @@ func (p Plan) Specs() []RunSpec {
 	return specs
 }
 
+// NumShards reports how many fixed-size shards a plan of total specs slices
+// into: ceil(total/size). Shard geometry is a pure function of the plan and
+// the shard size — never of worker count — so the fleet executor's shard
+// numbering is deterministic: shard i always covers the same plan positions
+// no matter how many processes execute the sweep.
+func NumShards(total, size int) int {
+	if total <= 0 || size <= 0 {
+		return 0
+	}
+	return (total + size - 1) / size
+}
+
+// ShardRange reports the half-open plan-order spec range [lo, hi) of the
+// given shard: every shard covers size consecutive specs except the last,
+// which covers the remainder. Panics on an out-of-range shard — the fleet
+// wire protocol validates shard ids before slicing.
+func ShardRange(total, size, shard int) (lo, hi int) {
+	if shard < 0 || shard >= NumShards(total, size) {
+		panic(fmt.Sprintf("suite: shard %d out of range (total %d, size %d)", shard, total, size))
+	}
+	lo = shard * size
+	hi = lo + size
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
 // RunSpec identifies one run of a plan.
 type RunSpec struct {
 	Index int // position in plan order

@@ -218,3 +218,41 @@ func TestSummarizeFoldsSeeds(t *testing.T) {
 		}
 	}
 }
+
+func TestShardGeometry(t *testing.T) {
+	if got := NumShards(0, 8); got != 0 {
+		t.Fatalf("NumShards(0,8) = %d, want 0", got)
+	}
+	if got := NumShards(17, 8); got != 3 {
+		t.Fatalf("NumShards(17,8) = %d, want 3", got)
+	}
+	if got := NumShards(16, 8); got != 2 {
+		t.Fatalf("NumShards(16,8) = %d, want 2", got)
+	}
+	// Shards tile the plan exactly: consecutive, non-overlapping, covering.
+	total, size := 17, 8
+	next := 0
+	for s := 0; s < NumShards(total, size); s++ {
+		lo, hi := ShardRange(total, size, s)
+		if lo != next || hi <= lo {
+			t.Fatalf("shard %d = [%d,%d), want lo %d", s, lo, hi, next)
+		}
+		if hi-lo > size {
+			t.Fatalf("shard %d covers %d specs, max %d", s, hi-lo, size)
+		}
+		next = hi
+	}
+	if next != total {
+		t.Fatalf("shards cover %d specs, want %d", next, total)
+	}
+	for _, bad := range []int{-1, NumShards(total, size)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ShardRange(%d,%d,%d) did not panic", total, size, bad)
+				}
+			}()
+			ShardRange(total, size, bad)
+		}()
+	}
+}
